@@ -1,0 +1,134 @@
+// Command stencilbench regenerates the paper's evaluation: Table 4
+// workloads, the scaling figures (8, 9, 10, 11a, 11b) and the Heat-3D
+// memory-performance figure (12), plus the ablation study of the
+// implementation's design choices.
+//
+// Usage:
+//
+//	stencilbench -list                 # print Table 4
+//	stencilbench -fig 10 -scale 16     # regenerate Figure 10 at 1/16 scale
+//	stencilbench -fig all -scale 32
+//	stencilbench -ablate               # coarsening / merging / tile-height ablation
+//	stencilbench -concurrency          # barriers & parallelism per scheme
+//	stencilbench -paper -fig 8         # full paper problem sizes (hours!)
+//	stencilbench -threads 1,2,4,8      # thread sweep points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"tessellate/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate: 8, 9, 10, 11a, 11b, 12 or all")
+		scale   = flag.Int("scale", 16, "problem size divisor (1 = paper size)")
+		paper   = flag.Bool("paper", false, "use full paper problem sizes (overrides -scale)")
+		threads = flag.String("threads", "", "comma-separated thread counts (default 1..GOMAXPROCS doubling)")
+		list    = flag.Bool("list", false, "print the Table 4 workloads and exit")
+		ablate  = flag.Bool("ablate", false, "run the ablation study")
+		conc    = flag.Bool("concurrency", false, "print the concurrency/synchronization profile of the schemes")
+		csvOut  = flag.String("csv", "", "write a figure's measurements as CSV to this file (with -fig)")
+	)
+	flag.Parse()
+
+	if *paper {
+		*scale = 1
+	}
+	ths, err := parseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *list:
+		printTable4()
+	case *conc:
+		for _, fig := range []string{"10", "11a"} {
+			for _, w := range bench.ByFigure(fig) {
+				if err := bench.PrintProfiles(os.Stdout, w.Scaled(*scale)); err != nil {
+					fatal(err)
+				}
+				fmt.Println()
+			}
+		}
+	case *ablate:
+		if err := bench.RunAblation(os.Stdout, *scale, ths[len(ths)-1]); err != nil {
+			fatal(err)
+		}
+	case *fig == "all":
+		for _, f := range []string{"8", "9", "10", "11a", "11b", "12"} {
+			if err := bench.RunFigure(os.Stdout, f, *scale, ths); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	case *fig != "" && *csvOut != "":
+		var ms []bench.Measurement
+		for _, w := range bench.ByFigure(*fig) {
+			sweep, err := bench.ThreadSweep(w.Scaled(*scale), bench.FigureSchemes(*fig), ths)
+			if err != nil {
+				fatal(err)
+			}
+			ms = append(ms, sweep...)
+		}
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(f, ms); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d measurements to %s\n", len(ms), *csvOut)
+	case *fig != "":
+		if err := bench.RunFigure(os.Stdout, *fig, *scale, ths); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		max := runtime.GOMAXPROCS(0)
+		out := []int{1}
+		for t := 2; t <= max; t *= 2 {
+			out = append(out, t)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("stencilbench: bad thread count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func printTable4() {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "figure\tkernel\tproblem size\tour blocking (Big x bt)\tPluto blocking (BX x 2bt)")
+	for _, w := range bench.Table4 {
+		fmt.Fprintf(tw, "%s\t%s\t%vx%d\t%vx%d\t%dx%d\n",
+			w.Figure, w.Kernel, w.N, w.Steps, w.TessBig, w.TessBT, w.DiamondBX, 2*w.DiamondBT)
+	}
+	tw.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stencilbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command tessgen generates Go kernel source for a declared stencil —
+// the code-generation tool the paper names as future work.
+//
+// Usage:
+//
+//	tessgen -shape star -d 2 -order 1                 # 2D 5-point
+//	tessgen -shape box -d 3 -order 1 -func box27      # 3D 27-point
+//	tessgen -shape star -d 1 -order 4 -pkg kernels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tessellate/internal/codegen"
+	"tessellate/internal/stencil"
+)
+
+func main() {
+	var (
+		shape    = flag.String("shape", "star", "stencil shape: star or box")
+		d        = flag.Int("d", 2, "dimension (1-3)")
+		order    = flag.Int("order", 1, "stencil order (dependence slope)")
+		pkg      = flag.String("pkg", "kernels", "package name for the generated file")
+		funcName = flag.String("func", "", "function name (default derived from shape/d/order)")
+	)
+	flag.Parse()
+
+	var g *stencil.Generic
+	switch *shape {
+	case "star":
+		g = stencil.NewStar(*d, *order)
+	case "box":
+		g = stencil.NewBox(*d, *order)
+	default:
+		fmt.Fprintf(os.Stderr, "tessgen: unknown shape %q (star or box)\n", *shape)
+		os.Exit(2)
+	}
+	name := *funcName
+	if name == "" {
+		name = fmt.Sprintf("%s%dDOrder%d", *shape, *d, *order)
+	}
+	src, err := codegen.EmitGo(g, *pkg, name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tessgen:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(src)
+}

@@ -1,0 +1,125 @@
+// Command tessviz prints the mathematical tables of the paper:
+// Table 1 (properties of the d-dimensional tessellation), and the
+// T_i update-count tables of B_0⁺ that form Tables 2 and 3, for any
+// dimension and tile radius.
+//
+// Usage:
+//
+//	tessviz -table1 -d 4       # Table 1 row for 4D stencils
+//	tessviz -d 2 -b 3          # Table 2 (2D stages at b=3)
+//	tessviz -d 3 -b 3          # Table 3 (3D stages at b=3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tessellate/internal/core"
+)
+
+func main() {
+	var (
+		d        = flag.Int("d", 2, "stencil dimension")
+		b        = flag.Int("b", 3, "tile radius (time tile height)")
+		table1   = flag.Bool("table1", false, "print the Table 1 properties instead of T_i tables")
+		schedule = flag.Bool("schedule", false, "print a 1D space-time diagram of the schedule (Figure 1 style)")
+		n        = flag.Int("n", 48, "domain size for -schedule")
+		steps    = flag.Int("steps", 12, "time steps for -schedule")
+		big      = flag.Int("big", 0, "coarse block size for -schedule (default 3*b)")
+	)
+	flag.Parse()
+	if *d < 1 || *b < 1 {
+		fmt.Fprintln(os.Stderr, "tessviz: -d and -b must be >= 1")
+		os.Exit(2)
+	}
+
+	if *schedule {
+		bg := *big
+		if bg == 0 {
+			bg = 3 * *b
+		}
+		cfg := core.Config{N: []int{*n}, Slopes: []int{1}, BT: *b, Big: []int{bg}, Merge: true}
+		diag, err := core.Diagram1D(&cfg, *steps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tessviz:", err)
+			os.Exit(1)
+		}
+		fmt.Print(diag)
+		return
+	}
+
+	if *table1 {
+		printTable1(*d)
+		return
+	}
+	if err := core.CheckTheorem35(*d, *b); err != nil {
+		fmt.Fprintln(os.Stderr, "tessviz:", err)
+		os.Exit(1)
+	}
+	for i := 0; i <= *d; i++ {
+		fmt.Printf("T_%d over B_0+ (d=%d, b=%d); '-' = point not in this stage's block\n", i, *d, *b)
+		printStage(*d, *b, i)
+		fmt.Println()
+	}
+	fmt.Printf("Theorem 3.5 verified: sum_i T_i(a) = %d for all %d points.\n", *b, pow(*b+1, *d))
+}
+
+func printTable1(d int) {
+	p := core.Properties(d)
+	fmt.Printf("Stencil dim:                          %d\n", p.Dim)
+	fmt.Printf("# stages per phase (time tile):       %d\n", p.StagesPerPhase)
+	fmt.Printf("Size of B0 (b=3):                     %d\n", p.B0Volume(3))
+	fmt.Printf("# sub-blocks from B_i splitting:      %v\n", p.SplitSubblocks)
+	fmt.Printf("# sub-blocks to combine B_i:          %v\n", p.CombineSubblocks)
+	fmt.Printf("# B_i centrepoints on B0 surface:     %v\n", p.SurfaceCenters)
+	fmt.Printf("# B_i centrepoints on B0+ surface:    %v\n", p.OrthantCenters)
+	fmt.Printf("# block shapes in the tessellation:   %d\n", p.ShapeKinds)
+}
+
+// printStage renders the stage-i table. 1D prints one row; 2D prints a
+// matrix; 3D prints one matrix per k (z) slice, like the paper's
+// Table 3; higher dimensions print flattened slices.
+func printStage(d, b, stage int) {
+	tab := core.StageTable(d, b, stage)
+	n := b + 1
+	switch d {
+	case 1:
+		fmt.Println(row(tab))
+	case 2:
+		for x := 0; x < n; x++ {
+			fmt.Println(row(tab[x*n : (x+1)*n]))
+		}
+	default:
+		slice := len(tab) / n
+		for k := 0; k < n; k++ {
+			fmt.Printf("k=%d:\n", k)
+			sub := tab[k*slice : (k+1)*slice]
+			rows := slice / n
+			for r := 0; r < rows; r++ {
+				fmt.Println("  " + row(sub[r*n:(r+1)*n]))
+			}
+		}
+	}
+}
+
+func row(vals []int) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		if v < 0 {
+			parts[i] = " -"
+		} else {
+			parts[i] = fmt.Sprintf("%2d", v)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func pow(a, n int) int {
+	r := 1
+	for i := 0; i < n; i++ {
+		r *= a
+	}
+	return r
+}

@@ -1,0 +1,82 @@
+// Game of Life driven by the tessellation scheduler: the life rule is a
+// 2D 9-point box "stencil" (one of the paper's seven benchmarks), so
+// temporal tiling applies to it unchanged. A glider cruises across the
+// board in batches of tiled generations; the example asserts it arrives
+// where untiled evolution puts it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tessellate"
+)
+
+const (
+	w, h        = 40, 24
+	generations = 48 // 12 batches of 4 tiled generations
+)
+
+func main() {
+	board := tessellate.NewGrid2D(h, w, 1, 1)
+	// A glider heading south-east plus a blinker that stays put.
+	for _, p := range [][2]int{{1, 2}, {2, 3}, {3, 1}, {3, 2}, {3, 3}} {
+		board.Set(p[0], p[1], 1)
+	}
+	for _, p := range [][2]int{{10, 20}, {11, 20}, {12, 20}} {
+		board.Set(p[0], p[1], 1)
+	}
+	board.SetBoundary(0) // dead frontier
+
+	ref := board.Clone()
+
+	eng := tessellate.NewEngine(0)
+	defer eng.Close()
+
+	fmt.Println("generation 0:")
+	fmt.Println(render(board))
+	for batch := 0; batch < generations/4; batch++ {
+		// Four generations per tessellation phase (TimeTile=4): one
+		// pass over the board instead of four.
+		if err := eng.Run2D(board, tessellate.Life, 4, tessellate.Options{TimeTile: 2, Block: []int{8, 8}}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("generation %d (tessellation, %d tiled batches):\n", generations, generations/4)
+	fmt.Println(render(board))
+
+	if err := eng.Run2D(ref, tessellate.Life, generations, tessellate.Options{Scheme: tessellate.Naive}); err != nil {
+		log.Fatal(err)
+	}
+	for x := 0; x < h; x++ {
+		for y := 0; y < w; y++ {
+			if board.At(x, y) != ref.At(x, y) {
+				log.Fatalf("tessellated life diverged from naive at (%d,%d)", x, y)
+			}
+		}
+	}
+	fmt.Println("tessellated evolution matches naive generation-by-generation evolution: true")
+
+	// The glider translates one cell diagonally every 4 generations.
+	want := [2]int{1 + generations/4, 2 + generations/4}
+	if board.At(want[0], want[1]) != 1 {
+		log.Fatalf("glider not found near %v", want)
+	}
+	fmt.Printf("glider advanced %d cells diagonally, as expected\n", generations/4)
+}
+
+func render(g *tessellate.Grid2D) string {
+	var b strings.Builder
+	for x := 0; x < h; x++ {
+		for y := 0; y < w; y++ {
+			if g.At(x, y) == 1 {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+// Highorder: the paper's §3.6 extensions through the public API —
+// a high-order (order-2) 1D stencil driven by slope-2 tessellation
+// (equivalent to the paper's supernode construction), and a 4D stencil
+// run by the formula-driven n-dimensional executor, beyond what the
+// specialised 1D/2D/3D paths cover.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tessellate"
+)
+
+func main() {
+	eng := tessellate.NewEngine(0)
+	defer eng.Close()
+
+	// 1) Order-2 star stencil in 1D (the paper's 1d5p benchmark): the
+	// tessellation handles order m by scaling every tile slope by m —
+	// the supernode reduction of §3.6 in closed form.
+	const n1, steps1 = 4096, 64
+	g1 := tessellate.NewGrid1D(n1, 2)
+	g1.Fill(func(x int) float64 { return math.Sin(float64(x) / 50) })
+	g1.SetBoundary(0)
+	ref := g1.Clone()
+	if err := eng.Run1D(g1, tessellate.P1D5, steps1, tessellate.Options{TimeTile: 8, Block: []int{64}}); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Run1D(ref, tessellate.P1D5, steps1, tessellate.Options{Scheme: tessellate.Naive}); err != nil {
+		log.Fatal(err)
+	}
+	for x := 0; x < n1; x++ {
+		if g1.At(x) != ref.At(x) {
+			log.Fatalf("1d5p mismatch at %d", x)
+		}
+	}
+	fmt.Printf("1D order-2 stencil (1d5p): %d points x %d steps, tessellated == naive: true\n", n1, steps1)
+
+	// 2) A 4D order-1 star stencil: d+1 = 5 stages per phase, blocks
+	// glued along up to 3 of 4 dimensions. No specialised executor
+	// exists for 4D; the formula-driven one handles any rank.
+	dims := []int{12, 12, 12, 12}
+	halo := []int{1, 1, 1, 1}
+	star := tessellate.NewStar(4, 1)
+	g4 := tessellate.NewNDGrid(dims, halo)
+	g4.Fill(func(c []int) float64 {
+		return float64(c[0] + 2*c[1] + 3*c[2] + 4*c[3])
+	})
+	if err := eng.RunND(g4, star, 6, tessellate.Options{TimeTile: 2, Block: []int{4, 4, 4, 4}}); err != nil {
+		log.Fatal(err)
+	}
+	centre := g4.At([]int{6, 6, 6, 6})
+	fmt.Printf("4D star stencil: %v grid advanced 6 steps via 5-stage phases; centre value %.4f\n", dims, centre)
+	fmt.Println("tessellation applies unchanged to any dimension (paper §3, Table 1)")
+}

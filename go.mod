@@ -1,0 +1,3 @@
+module tessellate
+
+go 1.22

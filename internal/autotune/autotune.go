@@ -1,0 +1,191 @@
+// Package autotune searches the tessellation's tile-parameter space —
+// the "ongoing work" the paper describes: "our ongoing work focuses on
+// the auto-tuning method to efficiently search the best block sizes".
+//
+// The search is measurement-driven, in the ATLAS/OpenBLAS tradition the
+// paper invokes: candidate (BT, Big) configurations are generated from
+// the legality constraints (Big >= 2*BT*slope), each is timed on a
+// short run of the real executor, and the best is refined by a local
+// neighbourhood pass over per-dimension coarsening factors.
+package autotune
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tessellate"
+)
+
+// Trial records one measured candidate.
+type Trial struct {
+	Options  tessellate.Options
+	Seconds  float64
+	MUpdates float64 // millions of point updates per second
+}
+
+// Budget bounds the search.
+type Budget struct {
+	// MaxTrials caps the number of timed candidates (default 24).
+	MaxTrials int
+	// MinSteps is the minimum time steps per trial (default 3*BT, at
+	// least this value). Longer runs reduce noise.
+	MinSteps int
+}
+
+func (b *Budget) defaults() {
+	if b.MaxTrials <= 0 {
+		b.MaxTrials = 24
+	}
+	if b.MinSteps <= 0 {
+		b.MinSteps = 32
+	}
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best     tessellate.Options
+	BestRate float64 // MUpdates/s of the best candidate
+	Trials   []Trial // every measured candidate, best first
+}
+
+// Search tunes the tessellation parameters for the given stencil and
+// domain extents at the given thread count. It allocates throwaway
+// grids internally; the returned Options plug straight into
+// Engine.Run1D/2D/3D.
+func Search(spec *tessellate.Stencil, dims []int, threads int, budget Budget) (Result, error) {
+	if spec.Dims != len(dims) {
+		return Result{}, fmt.Errorf("autotune: %s is %dD but %d extents given", spec.Name, spec.Dims, len(dims))
+	}
+	for k, n := range dims {
+		if n < 4*spec.Slopes[k] {
+			return Result{}, fmt.Errorf("autotune: extent %d of dimension %d too small to tile", n, k)
+		}
+	}
+	budget.defaults()
+
+	eng := tessellate.NewEngine(threads)
+	defer eng.Close()
+
+	cands := candidates(spec, dims, budget.MaxTrials)
+	var res Result
+	for _, opt := range cands {
+		tr, err := measure(eng, spec, dims, opt, budget.MinSteps)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Trials = append(res.Trials, tr)
+	}
+	// Local refinement around the incumbent: stretch/shrink the
+	// unit-stride dimension of the best candidate.
+	sort.Slice(res.Trials, func(i, j int) bool { return res.Trials[i].MUpdates > res.Trials[j].MUpdates })
+	best := res.Trials[0]
+	last := spec.Dims - 1
+	for _, f := range []int{2, 4} {
+		opt := best.Options
+		opt.Block = append([]int(nil), opt.Block...)
+		nb := opt.Block[last] * f
+		if nb > dims[last] {
+			continue
+		}
+		opt.Block[last] = nb
+		tr, err := measure(eng, spec, dims, opt, budget.MinSteps)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Trials = append(res.Trials, tr)
+	}
+	sort.Slice(res.Trials, func(i, j int) bool { return res.Trials[i].MUpdates > res.Trials[j].MUpdates })
+	res.Best = res.Trials[0].Options
+	res.BestRate = res.Trials[0].MUpdates
+	return res, nil
+}
+
+// candidates enumerates legal (BT, Big) combinations, most promising
+// first, capped at maxTrials.
+func candidates(spec *tessellate.Stencil, dims []int, maxTrials int) []tessellate.Options {
+	var out []tessellate.Options
+	for _, bt := range []int{8, 16, 4, 32, 2, 64} {
+		// Skip time tiles that leave fewer than two blocks along the
+		// smallest dimension at the tightest legal block size.
+		tooBig := false
+		for k, n := range dims {
+			if 4*bt*spec.Slopes[k] > n {
+				tooBig = true
+				break
+			}
+		}
+		if tooBig {
+			continue
+		}
+		for _, f := range []int{4, 8, 2} {
+			block := make([]int, len(dims))
+			legal := true
+			for k := range dims {
+				block[k] = f * bt * spec.Slopes[k]
+				if k == len(dims)-1 && len(dims) > 1 {
+					block[k] *= 2 // favour unit-stride coarsening (§4.2)
+				}
+				if block[k] > dims[k] {
+					legal = false
+					break
+				}
+			}
+			if !legal {
+				continue
+			}
+			out = append(out, tessellate.Options{TimeTile: bt, Block: block})
+			if len(out) >= maxTrials {
+				return out
+			}
+		}
+	}
+	if len(out) == 0 {
+		// Degenerate domain: fall back to the smallest legal tiling.
+		block := make([]int, len(dims))
+		for k := range dims {
+			block[k] = 2 * spec.Slopes[k]
+		}
+		out = append(out, tessellate.Options{TimeTile: 1, Block: block})
+	}
+	return out
+}
+
+// measure times one candidate on a fresh deterministic grid.
+func measure(eng *tessellate.Engine, spec *tessellate.Stencil, dims []int, opt tessellate.Options, minSteps int) (Trial, error) {
+	steps := 3 * opt.TimeTile
+	if steps < minSteps {
+		steps = minSteps
+	}
+	var run func() error
+	switch len(dims) {
+	case 1:
+		g := tessellate.NewGrid1D(dims[0], spec.MaxSlope())
+		g.Fill(func(x int) float64 { return float64(x%17) * 0.0625 })
+		run = func() error { return eng.Run1D(g, spec, steps, opt) }
+	case 2:
+		g := tessellate.NewGrid2D(dims[0], dims[1], spec.Slopes[0], spec.Slopes[1])
+		g.Fill(func(x, y int) float64 { return float64((x+y)%17) * 0.0625 })
+		run = func() error { return eng.Run2D(g, spec, steps, opt) }
+	case 3:
+		g := tessellate.NewGrid3D(dims[0], dims[1], dims[2], spec.Slopes[0], spec.Slopes[1], spec.Slopes[2])
+		g.Fill(func(x, y, z int) float64 { return float64((x+y+z)%17) * 0.0625 })
+		run = func() error { return eng.Run3D(g, spec, steps, opt) }
+	default:
+		return Trial{}, fmt.Errorf("autotune: unsupported rank %d", len(dims))
+	}
+	start := time.Now()
+	if err := run(); err != nil {
+		return Trial{}, fmt.Errorf("autotune: candidate %+v: %w", opt, err)
+	}
+	secs := time.Since(start).Seconds()
+	points := 1
+	for _, n := range dims {
+		points *= n
+	}
+	return Trial{
+		Options:  opt,
+		Seconds:  secs,
+		MUpdates: float64(points) * float64(steps) / secs / 1e6,
+	}, nil
+}

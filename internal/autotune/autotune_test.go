@@ -1,0 +1,82 @@
+package autotune
+
+import (
+	"testing"
+
+	"tessellate"
+)
+
+func TestSearchReturnsLegalBest(t *testing.T) {
+	res, err := Search(tessellate.Heat2D, []int{256, 256}, 1, Budget{MaxTrials: 6, MinSteps: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) < 6 {
+		t.Fatalf("%d trials, want >= 6", len(res.Trials))
+	}
+	if res.BestRate <= 0 {
+		t.Fatal("non-positive best rate")
+	}
+	best := res.Best
+	if best.TimeTile < 1 {
+		t.Fatalf("best TimeTile = %d", best.TimeTile)
+	}
+	for k, b := range best.Block {
+		if b < 2*best.TimeTile*tessellate.Heat2D.Slopes[k] {
+			t.Fatalf("best Block[%d] = %d illegal for TimeTile %d", k, b, best.TimeTile)
+		}
+	}
+	// Trials must be sorted best-first.
+	for i := 1; i < len(res.Trials); i++ {
+		if res.Trials[i].MUpdates > res.Trials[0].MUpdates {
+			t.Fatal("trials not sorted best-first")
+		}
+	}
+	// The tuned options must actually run.
+	eng := tessellate.NewEngine(1)
+	defer eng.Close()
+	g := tessellate.NewGrid2D(256, 256, 1, 1)
+	if err := eng.Run2D(g, tessellate.Heat2D, 8, best); err != nil {
+		t.Fatalf("best options do not run: %v", err)
+	}
+}
+
+func TestSearch1DAnd3D(t *testing.T) {
+	if _, err := Search(tessellate.Heat1D, []int{8192}, 1, Budget{MaxTrials: 4, MinSteps: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Search(tessellate.Heat3D, []int{48, 48, 48}, 1, Budget{MaxTrials: 3, MinSteps: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchHighOrder(t *testing.T) {
+	res, err := Search(tessellate.P1D5, []int{8192}, 1, Budget{MaxTrials: 4, MinSteps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Block[0] < 2*res.Best.TimeTile*2 {
+		t.Fatalf("slope-2 legality violated: %+v", res.Best)
+	}
+}
+
+func TestSearchRejectsBadInput(t *testing.T) {
+	if _, err := Search(tessellate.Heat2D, []int{100}, 1, Budget{}); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if _, err := Search(tessellate.Heat1D, []int{2}, 1, Budget{}); err == nil {
+		t.Fatal("untileable domain accepted")
+	}
+}
+
+func TestCandidatesDegenerateDomain(t *testing.T) {
+	// A domain too small for any standard candidate still yields the
+	// minimal legal tiling.
+	c := candidates(tessellate.Heat1D, []int{5}, 10)
+	if len(c) == 0 {
+		t.Fatal("no candidates for tiny domain")
+	}
+	if c[0].TimeTile < 1 {
+		t.Fatalf("degenerate candidate illegal: %+v", c[0])
+	}
+}

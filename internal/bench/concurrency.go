@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"tessellate"
+	"tessellate/internal/core"
+	"tessellate/internal/diamond"
+	"tessellate/internal/skew"
+)
+
+// ConcurrencyProfile quantifies the parallelism structure of one
+// scheme's schedule: how many barriers it needs and how many
+// independent blocks each barrier-delimited region offers. This turns
+// the paper's qualitative claims — tessellation and diamond tiling
+// enjoy "concurrent start", time skewing suffers "pipelined start-up
+// and limited concurrency" — into measured numbers.
+type ConcurrencyProfile struct {
+	Scheme string
+	// Syncs is the number of parallel regions (barriers) for the run.
+	Syncs int
+	// MinPar/MaxPar/AvgPar summarise blocks per region.
+	MinPar, MaxPar int
+	AvgPar         float64
+	// Startup counts regions before parallelism first reaches a third
+	// of MaxPar — the pipeline-fill cost. (A third, not half: region
+	// widths legitimately differ by the C(d,i) orientation multiplicity
+	// between tessellation stages.)
+	Startup int
+	// SyncsPerStep = Syncs / steps, the synchronization density the
+	// paper's Table 1 bounds at d per BT steps for the tessellation.
+	SyncsPerStep float64
+}
+
+func profileFromCounts(scheme string, counts []int, steps int) ConcurrencyProfile {
+	p := ConcurrencyProfile{Scheme: scheme, Syncs: len(counts), MinPar: 1 << 60}
+	sum := 0
+	for _, c := range counts {
+		if c < p.MinPar {
+			p.MinPar = c
+		}
+		if c > p.MaxPar {
+			p.MaxPar = c
+		}
+		sum += c
+	}
+	p.AvgPar = float64(sum) / float64(len(counts))
+	for i, c := range counts {
+		if 3*c >= p.MaxPar {
+			p.Startup = i
+			break
+		}
+	}
+	p.SyncsPerStep = float64(p.Syncs) / float64(steps)
+	return p
+}
+
+// Profiles computes the concurrency profile of every profiled scheme
+// for workload w (scaled as given).
+func Profiles(w Workload) ([]ConcurrencyProfile, error) {
+	spec, err := tessellate.StencilByName(w.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	var out []ConcurrencyProfile
+
+	cfg := core.Config{N: w.N, Slopes: spec.Slopes, BT: w.TessBT, Big: w.TessBig, Merge: true}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var counts []int
+	for _, r := range cfg.Regions(w.Steps) {
+		counts = append(counts, len(r.Blocks))
+	}
+	out = append(out, profileFromCounts("tessellation", counts, w.Steps))
+
+	out = append(out, profileFromCounts("diamond",
+		diamond.Profile(diamond.Config{BX: w.DiamondBX, BT: w.DiamondBT}, w.N[0], spec.Slopes[0], w.Steps), w.Steps))
+
+	out = append(out, profileFromCounts("skewed",
+		skew.Profile(skew.Config{BT: w.SkewBT, BX: w.SkewBX}, w.N, spec.Slopes, w.Steps), w.Steps))
+
+	return out, nil
+}
+
+// PrintProfiles runs Profiles for the workload and renders the table.
+func PrintProfiles(out io.Writer, w Workload) error {
+	ps, err := Profiles(w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# Concurrency structure: %s\n", w)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tbarriers\tsyncs/step\tmin par\tavg par\tmax par\tstartup regions")
+	for _, p := range ps {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%d\t%.1f\t%d\t%d\n",
+			p.Scheme, p.Syncs, p.SyncsPerStep, p.MinPar, p.AvgPar, p.MaxPar, p.Startup)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The profiler must confirm the paper's central qualitative claims:
+// concurrent-start schemes (tessellation, diamond) offer full-width
+// parallelism from the first region, while time skewing ramps through
+// a pipeline fill; and the tessellation's synchronization density is
+// d per BT steps.
+func TestConcurrencyClaims(t *testing.T) {
+	w := ByFigure("10")[0].Scaled(8) // heat-2d 750^2
+	ps, err := Profiles(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ConcurrencyProfile{}
+	for _, p := range ps {
+		byName[p.Scheme] = p
+	}
+
+	tess := byName["tessellation"]
+	dia := byName["diamond"]
+	sk := byName["skewed"]
+
+	if tess.Startup != 0 {
+		t.Errorf("tessellation startup = %d regions, want 0 (concurrent start)", tess.Startup)
+	}
+	if dia.Startup != 0 {
+		t.Errorf("diamond startup = %d regions, want 0 (concurrent start)", dia.Startup)
+	}
+	if sk.Startup == 0 {
+		t.Error("skewed startup = 0: expected a pipeline fill ramp")
+	}
+	if sk.MinPar != 1 {
+		t.Errorf("skewed min parallelism = %d, want 1 (single-tile wavefronts at the corners)", sk.MinPar)
+	}
+
+	// Table 1: d synchronizations per BT steps (merged schedule), with
+	// one extra closing region for the final B_d.
+	d := len(w.N)
+	phases := (w.Steps + w.TessBT - 1) / w.TessBT
+	wantSyncs := d*phases + 1
+	if tess.Syncs != wantSyncs {
+		t.Errorf("tessellation barriers = %d, want %d (d=%d per %d phases + final diamond)", tess.Syncs, wantSyncs, d, phases)
+	}
+
+	// Time skewing needs far more barriers than the tessellation for
+	// the same run (one per wavefront).
+	if sk.Syncs <= tess.Syncs {
+		t.Errorf("skewed barriers %d <= tessellation %d", sk.Syncs, tess.Syncs)
+	}
+}
+
+func TestPrintProfiles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintProfiles(&buf, ByFigure("10")[0].Scaled(16)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tessellation", "diamond", "skewed", "barriers"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("profile output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

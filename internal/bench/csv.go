@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders measurements as CSV for external plotting, one row
+// per (workload, scheme, threads) sample.
+func WriteCSV(out io.Writer, ms []Measurement) error {
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"workload", "kernel", "scheme", "threads", "seconds", "mupdates_per_s", "gflops"}); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		rec := []string{
+			m.Workload,
+			m.Kernel,
+			m.Scheme,
+			strconv.Itoa(m.Threads),
+			fmt.Sprintf("%.6f", m.Seconds),
+			fmt.Sprintf("%.3f", m.MUpdates),
+			fmt.Sprintf("%.3f", m.GFlops),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

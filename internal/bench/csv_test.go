@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	ms := []Measurement{
+		{Workload: "w1", Kernel: "heat-2d", Scheme: "tessellation", Threads: 2, Seconds: 0.5, MUpdates: 100.25, GFlops: 0.9},
+		{Workload: "w1", Kernel: "heat-2d", Scheme: "naive", Threads: 2, Seconds: 1.0, MUpdates: 50.125, GFlops: 0.45},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "workload,kernel,scheme,threads") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "tessellation,2,0.500000,100.250") {
+		t.Fatalf("bad row: %s", lines[1])
+	}
+}

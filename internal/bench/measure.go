@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tessellate"
+	"tessellate/internal/cachesim"
+	"tessellate/internal/core"
+	"tessellate/internal/grid"
+	"tessellate/internal/stencil"
+)
+
+// Measurement is one (workload, scheme, threads) timing sample.
+type Measurement struct {
+	Workload string
+	Kernel   string
+	Scheme   string
+	Threads  int
+	Seconds  float64
+	// MUpdates is millions of point updates per second (the paper's
+	// figures report GStencil/s-style throughput).
+	MUpdates float64
+	// GFlops derives from the kernel's per-point flop count.
+	GFlops float64
+	// Checksum is a deterministic digest of the output grid, used by
+	// the harness's self-check to confirm schemes agree.
+	Checksum float64
+}
+
+// Run executes workload w with the given scheme and thread count and
+// returns the measurement. Grids are freshly allocated and seeded
+// deterministically so measurements are comparable across schemes.
+func Run(w Workload, scheme tessellate.Scheme, threads int) (Measurement, error) {
+	spec, err := tessellate.StencilByName(w.Kernel)
+	if err != nil {
+		return Measurement{}, err
+	}
+	eng := tessellate.NewEngine(threads)
+	defer eng.Close()
+	opt := w.Options(scheme)
+
+	var run func() error
+	var sum func() float64
+	switch len(w.N) {
+	case 1:
+		g := tessellate.NewGrid1D(w.N[0], spec.MaxSlope())
+		seed1D(g, w.Kernel)
+		run = func() error { return eng.Run1D(g, spec, w.Steps, opt) }
+		sum = func() float64 { return checksum1D(g) }
+	case 2:
+		g := tessellate.NewGrid2D(w.N[0], w.N[1], spec.Slopes[0], spec.Slopes[1])
+		seed2D(g, w.Kernel)
+		run = func() error { return eng.Run2D(g, spec, w.Steps, opt) }
+		sum = func() float64 { return checksum2D(g) }
+	case 3:
+		g := tessellate.NewGrid3D(w.N[0], w.N[1], w.N[2], spec.Slopes[0], spec.Slopes[1], spec.Slopes[2])
+		seed3D(g, w.Kernel)
+		run = func() error { return eng.Run3D(g, spec, w.Steps, opt) }
+		sum = func() float64 { return checksum3D(g) }
+	default:
+		return Measurement{}, fmt.Errorf("bench: unsupported rank %d", len(w.N))
+	}
+
+	start := time.Now()
+	if err := run(); err != nil {
+		return Measurement{}, fmt.Errorf("bench: %s/%v: %w", w, scheme, err)
+	}
+	secs := time.Since(start).Seconds()
+	updates := float64(w.Updates())
+	return Measurement{
+		Workload: w.String(),
+		Kernel:   w.Kernel,
+		Scheme:   scheme.String(),
+		Threads:  threads,
+		Seconds:  secs,
+		MUpdates: updates / secs / 1e6,
+		GFlops:   updates * float64(spec.Flops) / secs / 1e9,
+		Checksum: sum(),
+	}, nil
+}
+
+// ThreadSweep measures every scheme at every thread count, the shape of
+// the paper's scaling figures.
+func ThreadSweep(w Workload, schemes []tessellate.Scheme, threads []int) ([]Measurement, error) {
+	var out []Measurement
+	for _, sc := range schemes {
+		for _, th := range threads {
+			m, err := Run(w, sc, th)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Traffic measures the DRAM transfer volume of a scheme on workload w
+// by replaying its exact access schedule through a cache model of the
+// given capacity (Fig. 12's measurement, with the simulator standing in
+// for the uncore counters). The replay is single-threaded.
+type Traffic struct {
+	Scheme        string
+	Bytes         int64
+	BytesPerPoint float64 // per point per time step
+	HitRate       float64
+}
+
+// MeasureTraffic replays workload w (3D kernels only, as in Fig. 12)
+// under the given scheme through a cache of cacheBytes capacity.
+func MeasureTraffic(w Workload, scheme tessellate.Scheme, cacheBytes int) (Traffic, error) {
+	if len(w.N) != 3 {
+		return Traffic{}, fmt.Errorf("bench: traffic replay supports 3D workloads, got rank %d", len(w.N))
+	}
+	spec, err := tessellate.StencilByName(w.Kernel)
+	if err != nil {
+		return Traffic{}, err
+	}
+	cache, err := cachesim.NewCache(cacheBytes, 64, 16)
+	if err != nil {
+		return Traffic{}, err
+	}
+	g := tessellate.NewGrid3D(w.N[0], w.N[1], w.N[2], spec.Slopes[0], spec.Slopes[1], spec.Slopes[2])
+	traced := cachesim.NewTracingSpec(spec, cache, g.Buf[0], g.Buf[1])
+	eng := tessellate.NewEngine(1)
+	defer eng.Close()
+	if err := eng.Run3D(g, traced, w.Steps, w.Options(scheme)); err != nil {
+		return Traffic{}, err
+	}
+	cache.FlushWritebacks()
+	return Traffic{
+		Scheme:        scheme.String(),
+		Bytes:         cache.TrafficBytes(),
+		BytesPerPoint: float64(cache.TrafficBytes()) / float64(w.Updates()),
+		HitRate:       float64(cache.Hits) / float64(cache.Accesses),
+	}, nil
+}
+
+// ValidateWorkload checks that the tessellation schedule for workload w
+// passes the full schedule validator (Theorems 3.5/3.6) at a reduced
+// size, as a harness self-test.
+func ValidateWorkload(w Workload) error {
+	spec, err := tessellate.StencilByName(w.Kernel)
+	if err != nil {
+		return err
+	}
+	s := w.Scaled(64)
+	cfg := core.Config{N: s.N, Slopes: spec.Slopes, BT: s.TessBT, Big: s.TessBig, Merge: true}
+	return core.ValidateSchedule(&cfg, minInt(s.Steps, 3*s.TessBT))
+}
+
+// Seeding: deterministic per kernel so all schemes see identical input.
+
+func seed1D(g *grid.Grid1D, kernel string) {
+	rng := rand.New(rand.NewSource(int64(len(kernel))))
+	g.Fill(func(x int) float64 { return rng.Float64() })
+	g.SetBoundary(1)
+}
+
+func seed2D(g *grid.Grid2D, kernel string) {
+	rng := rand.New(rand.NewSource(int64(len(kernel))))
+	if kernel == stencil.Life.Name {
+		g.Fill(func(x, y int) float64 { return float64(rng.Intn(2)) })
+		g.SetBoundary(0)
+		return
+	}
+	g.Fill(func(x, y int) float64 { return rng.Float64() })
+	g.SetBoundary(1)
+}
+
+func seed3D(g *grid.Grid3D, kernel string) {
+	rng := rand.New(rand.NewSource(int64(len(kernel))))
+	g.Fill(func(x, y, z int) float64 { return rng.Float64() })
+	g.SetBoundary(1)
+}
+
+// Checksums: order-independent digests (sums are over fixed iteration
+// order, so they are deterministic and comparable across schemes).
+
+func checksum1D(g *grid.Grid1D) float64 {
+	s := 0.0
+	for x := 0; x < g.N; x++ {
+		s += g.At(x)
+	}
+	return s
+}
+
+func checksum2D(g *grid.Grid2D) float64 {
+	s := 0.0
+	for x := 0; x < g.NX; x++ {
+		for y := 0; y < g.NY; y++ {
+			s += g.At(x, y)
+		}
+	}
+	return s
+}
+
+func checksum3D(g *grid.Grid3D) float64 {
+	s := 0.0
+	for x := 0; x < g.NX; x++ {
+		for y := 0; y < g.NY; y++ {
+			for z := 0; z < g.NZ; z++ {
+				s += g.At(x, y, z)
+			}
+		}
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

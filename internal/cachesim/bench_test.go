@@ -1,0 +1,25 @@
+package cachesim
+
+import "testing"
+
+// Replay speed bounds how large a Fig. 12 configuration is practical.
+func BenchmarkAccessLine(b *testing.B) {
+	c, err := NewCache(1<<20, 64, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		c.AccessLine(int64(i)&0xffff, i&1 == 0)
+	}
+}
+
+func BenchmarkAccessRange(b *testing.B) {
+	c, err := NewCache(1<<20, 64, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		lo := int64(i%4096) * 8
+		c.AccessRange(lo, lo+64, false)
+	}
+}

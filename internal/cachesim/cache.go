@@ -1,0 +1,142 @@
+// Package cachesim models the memory hierarchy the paper measures with
+// hardware uncore counters (Fig. 12): a set-associative write-back,
+// write-allocate LRU cache in front of DRAM. Replaying the exact memory
+// access schedule of a tiling scheme through the model yields its DRAM
+// transfer volume — the quantity Fig. 12 reports — without hardware
+// counters.
+//
+// The replay mechanism is non-invasive: NewTracingSpec wraps any
+// stencil.Spec with kernels that feed the addresses the real kernels
+// would touch into the cache instead of computing. Because every
+// scheme in this repository funnels all work through the Spec's row
+// kernels, any executor can be replayed unmodified.
+package cachesim
+
+import "fmt"
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement. Addresses are element indices (8-byte float64 words).
+type Cache struct {
+	lineWords int // words per line
+	sets      int
+	assoc     int
+	tags      []int64 // sets*assoc, -1 = invalid; LRU order within a set: index 0 = MRU
+	dirty     []bool
+
+	// Stats.
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+}
+
+// NewCache builds a cache of sizeBytes capacity with lineBytes lines
+// and the given associativity. sizeBytes must be a multiple of
+// lineBytes*assoc; lineBytes a multiple of 8.
+func NewCache(sizeBytes, lineBytes, assoc int) (*Cache, error) {
+	if lineBytes < 8 || lineBytes%8 != 0 {
+		return nil, fmt.Errorf("cachesim: line size %d not a multiple of 8", lineBytes)
+	}
+	if assoc < 1 {
+		return nil, fmt.Errorf("cachesim: associativity %d < 1", assoc)
+	}
+	if sizeBytes <= 0 || sizeBytes%(lineBytes*assoc) != 0 {
+		return nil, fmt.Errorf("cachesim: size %d not a multiple of line*assoc = %d", sizeBytes, lineBytes*assoc)
+	}
+	c := &Cache{
+		lineWords: lineBytes / 8,
+		sets:      sizeBytes / (lineBytes * assoc),
+		assoc:     assoc,
+	}
+	c.tags = make([]int64, c.sets*c.assoc)
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	c.dirty = make([]bool, c.sets*c.assoc)
+	return c, nil
+}
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int { return c.lineWords * 8 }
+
+// SizeBytes returns the capacity in bytes.
+func (c *Cache) SizeBytes() int { return c.sets * c.assoc * c.lineWords * 8 }
+
+// TrafficBytes returns the total DRAM traffic so far: line fills plus
+// dirty writebacks.
+func (c *Cache) TrafficBytes() int64 {
+	return (c.Misses + c.Writebacks) * int64(c.LineBytes())
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+		c.dirty[i] = false
+	}
+	c.Accesses, c.Hits, c.Misses, c.Writebacks = 0, 0, 0, 0
+}
+
+// AccessLine touches one cache line (line index, not byte address).
+func (c *Cache) AccessLine(line int64, write bool) {
+	c.Accesses++
+	set := int(line % int64(c.sets))
+	if set < 0 {
+		set += c.sets
+	}
+	base := set * c.assoc
+	ways := c.tags[base : base+c.assoc]
+	for w, tag := range ways {
+		if tag == line {
+			c.Hits++
+			// Move to MRU position.
+			d := c.dirty[base+w]
+			copy(ways[1:w+1], ways[:w])
+			copy(c.dirty[base+1:base+w+1], c.dirty[base:base+w])
+			ways[0] = line
+			c.dirty[base] = d || write
+			return
+		}
+	}
+	c.Misses++
+	// Evict LRU (last way).
+	if ways[c.assoc-1] != -1 && c.dirty[base+c.assoc-1] {
+		c.Writebacks++
+	}
+	copy(ways[1:], ways[:c.assoc-1])
+	copy(c.dirty[base+1:base+c.assoc], c.dirty[base:base+c.assoc-1])
+	ways[0] = line
+	c.dirty[base] = write
+}
+
+// AccessRange touches all lines covering the element range [lo, hi).
+func (c *Cache) AccessRange(lo, hi int64, write bool) {
+	if lo >= hi {
+		return
+	}
+	first := floorDiv64(lo, int64(c.lineWords))
+	last := floorDiv64(hi-1, int64(c.lineWords))
+	for l := first; l <= last; l++ {
+		c.AccessLine(l, write)
+	}
+}
+
+func floorDiv64(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// FlushWritebacks counts every remaining dirty line as a writeback, as
+// if the cache were flushed at the end of the run, and marks them
+// clean. Call it before reading TrafficBytes for a full-run total.
+func (c *Cache) FlushWritebacks() {
+	for i, tag := range c.tags {
+		if tag != -1 && c.dirty[i] {
+			c.Writebacks++
+			c.dirty[i] = false
+		}
+	}
+}

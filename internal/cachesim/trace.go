@@ -1,0 +1,81 @@
+package cachesim
+
+import "tessellate/internal/stencil"
+
+// NewTracingSpec returns a copy of spec whose kernels feed the address
+// stream of the original kernels into the cache instead of computing.
+// buf0 and buf1 are the grid's two time-parity buffers; their element
+// index spaces are mapped to disjoint address ranges.
+//
+// Replays must run with a single worker: the cache model is not
+// concurrency-safe, and a serialized replay is the faithful analogue of
+// the socket-aggregated uncore counters the paper reads.
+func NewTracingSpec(spec *stencil.Spec, c *Cache, buf0, buf1 []float64) *stencil.Spec {
+	t := *spec
+	bufBase := func(b []float64) int64 {
+		if len(b) > 0 && len(buf0) > 0 && &b[0] == &buf0[0] {
+			return 0
+		}
+		return int64(len(buf0))
+	}
+	slopes := spec.Slopes
+	switch spec.Dims {
+	case 1:
+		s := int64(slopes[0])
+		t.K1 = func(dst, src []float64, lo, hi int) {
+			db, sb := bufBase(dst), bufBase(src)
+			c.AccessRange(sb+int64(lo)-s, sb+int64(hi)+s, false)
+			c.AccessRange(db+int64(lo), db+int64(hi), true)
+		}
+	case 2:
+		sx, sy2 := int64(slopes[0]), int64(slopes[1])
+		box := spec.Shape == stencil.Box
+		t.K2 = func(dst, src []float64, base, n, sy int) {
+			db, sb := bufBase(dst), bufBase(src)
+			b, e := int64(base), int64(base+n)
+			// Centre row extended by the y slope.
+			c.AccessRange(sb+b-sy2, sb+e+sy2, false)
+			for dx := int64(1); dx <= sx; dx++ {
+				off := dx * int64(sy)
+				if box {
+					c.AccessRange(sb+b-off-sy2, sb+e-off+sy2, false)
+					c.AccessRange(sb+b+off-sy2, sb+e+off+sy2, false)
+				} else {
+					c.AccessRange(sb+b-off, sb+e-off, false)
+					c.AccessRange(sb+b+off, sb+e+off, false)
+				}
+			}
+			c.AccessRange(db+b, db+e, true)
+		}
+	case 3:
+		sx3, sy3, sz3 := int64(slopes[0]), int64(slopes[1]), int64(slopes[2])
+		box := spec.Shape == stencil.Box
+		t.K3 = func(dst, src []float64, base, n, sy, sx int) {
+			db, sb := bufBase(dst), bufBase(src)
+			b, e := int64(base), int64(base+n)
+			visit := func(off int64) { c.AccessRange(sb+b+off-sz3, sb+e+off+sz3, false) }
+			visit(0)
+			if box {
+				for dx := -sx3; dx <= sx3; dx++ {
+					for dy := -sy3; dy <= sy3; dy++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						visit(dx*int64(sx) + dy*int64(sy))
+					}
+				}
+			} else {
+				for dy := int64(1); dy <= sy3; dy++ {
+					c.AccessRange(sb+b-dy*int64(sy), sb+e-dy*int64(sy), false)
+					c.AccessRange(sb+b+dy*int64(sy), sb+e+dy*int64(sy), false)
+				}
+				for dx := int64(1); dx <= sx3; dx++ {
+					c.AccessRange(sb+b-dx*int64(sx), sb+e-dx*int64(sx), false)
+					c.AccessRange(sb+b+dx*int64(sx), sb+e+dx*int64(sx), false)
+				}
+			}
+			c.AccessRange(db+b, db+e, true)
+		}
+	}
+	return &t
+}

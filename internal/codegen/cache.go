@@ -1,0 +1,36 @@
+package codegen
+
+import "sync"
+
+// entry is a compiled access list for one stride tuple.
+type entry struct {
+	flat  []int
+	coeff []float64
+}
+
+// cacheMap memoises entries per key with a RWMutex: the hot path is a
+// read lock on a map that stabilises after the first call per grid.
+type cacheMap[K comparable] struct {
+	mu sync.RWMutex
+	m  map[K]*entry
+}
+
+func (c *cacheMap[K]) get(k K, build func() ([]int, []float64)) *entry {
+	c.mu.RLock()
+	e := c.m[k]
+	c.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[K]*entry)
+	}
+	if e = c.m[k]; e == nil {
+		flat, coeff := build()
+		e = &entry{flat: flat, coeff: coeff}
+		c.m[k] = e
+	}
+	return e
+}

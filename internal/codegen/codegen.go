@@ -1,0 +1,248 @@
+// Package codegen is the kernel-generation tool the paper lists as
+// future work ("an automatically code generating tool"): it turns a
+// declarative stencil description (offsets + coefficients) into
+//
+//  1. compiled row kernels — closures specialised at construction time
+//     with precomputed flat offsets, letting any stencil.Generic run
+//     through every tiling scheme in the repository, and
+//  2. Go source text for a hand-tunable kernel, formatted with
+//     go/format, equivalent to the hand-written kernels in
+//     internal/stencil.
+//
+// Generated kernels accumulate in the stencil's declaration order —
+// the same order stencil.Generic.Apply uses — so the compiled closure,
+// the emitted source and the ND reference executor all compute
+// bit-identical results.
+package codegen
+
+import (
+	"fmt"
+	"go/format"
+	"strings"
+
+	"tessellate/internal/stencil"
+)
+
+// term is one neighbour access with its weight, ordered by flat offset.
+type term struct {
+	flat  int
+	coeff float64
+	off   []int
+}
+
+// terms builds the access list for the given strides, in declaration
+// order (the summation order of stencil.Generic.Apply).
+func terms(g *stencil.Generic, strides []int) []term {
+	flat := g.FlatOffsets(strides)
+	ts := make([]term, len(flat))
+	for i := range flat {
+		ts[i] = term{flat: flat[i], coeff: g.Coeffs[i], off: g.Offsets[i]}
+	}
+	return ts
+}
+
+// Compile1D builds a specialised 1D row kernel for g (g.Dims must be 1).
+func Compile1D(g *stencil.Generic) (stencil.Kernel1D, error) {
+	if g.Dims != 1 {
+		return nil, fmt.Errorf("codegen: %s is %dD, want 1D", g.Name, g.Dims)
+	}
+	ts := terms(g, []int{1})
+	flat := make([]int, len(ts))
+	coeff := make([]float64, len(ts))
+	for i, t := range ts {
+		flat[i] = t.flat
+		coeff[i] = t.coeff
+	}
+	return func(dst, src []float64, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var acc float64
+			for n, d := range flat {
+				acc += coeff[n] * src[i+d]
+			}
+			dst[i] = acc
+		}
+	}, nil
+}
+
+// Spec wraps a generic stencil as a stencil.Spec whose row kernels are
+// compiled closures, so the stencil can run under any scheme
+// (tessellation, diamond, oblivious, ...) via the ordinary executors.
+// Because the 2D/3D row kernels receive strides at call time, the flat
+// offsets are computed per call batch from the stride arguments; the
+// offsets are cached per (sy, sx) pair.
+func Spec(g *stencil.Generic) (*stencil.Spec, error) {
+	s := &stencil.Spec{
+		Name:   g.Name + "-compiled",
+		Dims:   g.Dims,
+		Shape:  shapeOf(g),
+		Slopes: append([]int(nil), g.Slopes...),
+		Points: len(g.Offsets),
+		Flops:  2*len(g.Offsets) - 1,
+	}
+	switch g.Dims {
+	case 1:
+		k, err := Compile1D(g)
+		if err != nil {
+			return nil, err
+		}
+		s.K1 = k
+	case 2:
+		s.K2 = compile2D(g)
+	case 3:
+		s.K3 = compile3D(g)
+	default:
+		return nil, fmt.Errorf("codegen: row kernels support 1-3 dimensions, got %d (use the ND executor)", g.Dims)
+	}
+	return s, nil
+}
+
+func shapeOf(g *stencil.Generic) stencil.Shape {
+	// A star stencil has non-zero displacement in at most one
+	// dimension per offset.
+	for _, off := range g.Offsets {
+		nz := 0
+		for _, v := range off {
+			if v != 0 {
+				nz++
+			}
+		}
+		if nz > 1 {
+			return stencil.Box
+		}
+	}
+	return stencil.Star
+}
+
+// kernelCache memoises flat offsets per stride tuple. Row kernels are
+// called from many goroutines, but strides are fixed per grid, so the
+// cache is built once up front via a tiny lock-free copy-on-read: the
+// closure captures a pointer it swaps only under mutex on miss.
+type strideKey struct{ sy, sx int }
+
+func compile2D(g *stencil.Generic) stencil.Kernel2D {
+	var cache cacheMap[strideKey]
+	return func(dst, src []float64, base, n, sy int) {
+		e := cache.get(strideKey{sy: sy}, func() ([]int, []float64) {
+			ts := terms(g, []int{sy, 1})
+			return split(ts)
+		})
+		for i := base; i < base+n; i++ {
+			var acc float64
+			for k, d := range e.flat {
+				acc += e.coeff[k] * src[i+d]
+			}
+			dst[i] = acc
+		}
+	}
+}
+
+func compile3D(g *stencil.Generic) stencil.Kernel3D {
+	var cache cacheMap[strideKey]
+	return func(dst, src []float64, base, n, sy, sx int) {
+		e := cache.get(strideKey{sy: sy, sx: sx}, func() ([]int, []float64) {
+			ts := terms(g, []int{sx, sy, 1})
+			return split(ts)
+		})
+		for i := base; i < base+n; i++ {
+			var acc float64
+			for k, d := range e.flat {
+				acc += e.coeff[k] * src[i+d]
+			}
+			dst[i] = acc
+		}
+	}
+}
+
+func split(ts []term) ([]int, []float64) {
+	flat := make([]int, len(ts))
+	coeff := make([]float64, len(ts))
+	for i, t := range ts {
+		flat[i] = t.flat
+		coeff[i] = t.coeff
+	}
+	return flat, coeff
+}
+
+// EmitGo renders a standalone Go source file containing a specialised
+// row-kernel function for g, in the style of the hand-written kernels.
+// Offsets appear symbolically (multiples of sy/sx), so the emitted code
+// works for any grid geometry. The result is gofmt-formatted.
+func EmitGo(g *stencil.Generic, pkg, funcName string) ([]byte, error) {
+	if g.Dims < 1 || g.Dims > 3 {
+		return nil, fmt.Errorf("codegen: EmitGo supports 1-3 dimensions, got %d", g.Dims)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Code generated by tessellate/internal/codegen for stencil %q. DO NOT EDIT.\n", g.Name)
+	fmt.Fprintf(&b, "package %s\n\n", pkg)
+
+	var sig, idx string
+	switch g.Dims {
+	case 1:
+		sig = "(dst, src []float64, lo, hi int)"
+		idx = "lo"
+	case 2:
+		sig = "(dst, src []float64, base, n, sy int)"
+		idx = "base"
+	case 3:
+		sig = "(dst, src []float64, base, n, sy, sx int)"
+		idx = "base"
+	}
+	fmt.Fprintf(&b, "// %s updates one contiguous segment: %d-point %s stencil, slopes %v.\n",
+		funcName, len(g.Offsets), shapeOf(g), g.Slopes)
+	fmt.Fprintf(&b, "func %s%s {\n", funcName, sig)
+	if g.Dims == 1 {
+		fmt.Fprintf(&b, "\tfor i := %s; i < hi; i++ {\n", idx)
+	} else {
+		fmt.Fprintf(&b, "\tfor i := %s; i < %s+n; i++ {\n", idx, idx)
+	}
+	fmt.Fprintf(&b, "\t\tdst[i] =\n")
+	// Declaration order, matching the compiled closures bit for bit.
+	order := make([]int, len(g.Offsets))
+	for i := range order {
+		order[i] = i
+	}
+	for n, oi := range order {
+		sep := " +"
+		if n == len(order)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "\t\t\t%v*src[i%s]%s\n", g.Coeffs[oi], indexExpr(g.Offsets[oi], g.Dims), sep)
+	}
+	fmt.Fprintf(&b, "\t}\n}\n")
+	return format.Source([]byte(b.String()))
+}
+
+// indexExpr renders the symbolic index displacement of one offset:
+// e.g. "+2*sx-sy+1" for (2,-1,1) in 3D.
+func indexExpr(off []int, dims int) string {
+	names := map[int]string{}
+	switch dims {
+	case 1:
+		names[0] = ""
+	case 2:
+		names[0] = "sy"
+		names[1] = ""
+	case 3:
+		names[0] = "sx"
+		names[1] = "sy"
+		names[2] = ""
+	}
+	var b strings.Builder
+	for k, v := range off {
+		if v == 0 {
+			continue
+		}
+		name := names[k]
+		switch {
+		case name == "":
+			fmt.Fprintf(&b, "%+d", v)
+		case v == 1:
+			fmt.Fprintf(&b, "+%s", name)
+		case v == -1:
+			fmt.Fprintf(&b, "-%s", name)
+		default:
+			fmt.Fprintf(&b, "%+d*%s", v, name)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagram1DShape(t *testing.T) {
+	cfg := Config{N: []int{40}, Slopes: []int{1}, BT: 3, Big: []int{9}, Merge: true}
+	out, err := Diagram1D(&cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // header + 9 time rows
+		t.Fatalf("%d lines, want 10:\n%s", len(lines), out)
+	}
+	// Every point of every time row must be covered (no '.'), since
+	// the schedule tessellates the iteration space.
+	for _, l := range lines[1:] {
+		row := l[4:] // strip "  t " prefix
+		if strings.Contains(row, ".") {
+			t.Fatalf("uncovered point in row %q", l)
+		}
+		if len(row) != 40 {
+			t.Fatalf("row width %d, want 40", len(row))
+		}
+	}
+	// Both lattice parities must appear (upper and lower case).
+	if out == strings.ToLower(out) || out == strings.ToUpper(out) {
+		t.Fatal("diagram shows only one phase parity")
+	}
+}
+
+func TestDiagram1DErrors(t *testing.T) {
+	bad := Config{N: []int{40, 40}, Slopes: []int{1, 1}, BT: 2, Big: []int{8, 8}, Merge: true}
+	if _, err := Diagram1D(&bad, 4); err == nil {
+		t.Fatal("2D config accepted by Diagram1D")
+	}
+	invalid := Config{N: []int{40}, Slopes: []int{1}, BT: 0, Big: []int{8}}
+	if _, err := Diagram1D(&invalid, 4); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

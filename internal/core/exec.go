@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"tessellate/internal/grid"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+)
+
+// Run1D advances a 1D grid by steps time steps using the tessellation
+// schedule. The grid's halo must be at least the stencil slope.
+func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Pool) error {
+	if s.Dims != 1 || s.K1 == nil {
+		return fmt.Errorf("core: %s is not a 1D kernel", s.Name)
+	}
+	if g.H < s.Slopes[0] {
+		return fmt.Errorf("core: grid halo %d < slope %d", g.H, s.Slopes[0])
+	}
+	if err := checkConfig(cfg, []int{g.N}, s.Slopes); err != nil {
+		return err
+	}
+	h := g.H
+	for _, r := range cfg.Regions(steps) {
+		r := r
+		pool.For(len(r.Blocks), func(bi int) {
+			b := &r.Blocks[bi]
+			var lo, hi [1]int
+			for t := r.T0; t < r.T1; t++ {
+				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
+					continue
+				}
+				s.K1(g.Buf[(t+1)&1], g.Buf[t&1], lo[0]+h, hi[0]+h)
+			}
+		})
+	}
+	g.Step += steps
+	return nil
+}
+
+// Run2D advances a 2D grid by steps time steps using the tessellation
+// schedule.
+func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Pool) error {
+	if s.Dims != 2 || s.K2 == nil {
+		return fmt.Errorf("core: %s is not a 2D kernel", s.Name)
+	}
+	if g.HX < s.Slopes[0] || g.HY < s.Slopes[1] {
+		return fmt.Errorf("core: grid halo (%d,%d) < slopes %v", g.HX, g.HY, s.Slopes)
+	}
+	if err := checkConfig(cfg, []int{g.NX, g.NY}, s.Slopes); err != nil {
+		return err
+	}
+	for _, r := range cfg.Regions(steps) {
+		r := r
+		pool.For(len(r.Blocks), func(bi int) {
+			b := &r.Blocks[bi]
+			var lo, hi [2]int
+			for t := r.T0; t < r.T1; t++ {
+				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
+					continue
+				}
+				dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
+				n := hi[1] - lo[1]
+				base := g.Idx(lo[0], lo[1])
+				for x := lo[0]; x < hi[0]; x++ {
+					s.K2(dst, src, base, n, g.SY)
+					base += g.SY
+				}
+			}
+		})
+	}
+	g.Step += steps
+	return nil
+}
+
+// Run3D advances a 3D grid by steps time steps using the tessellation
+// schedule.
+func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Pool) error {
+	if s.Dims != 3 || s.K3 == nil {
+		return fmt.Errorf("core: %s is not a 3D kernel", s.Name)
+	}
+	if g.HX < s.Slopes[0] || g.HY < s.Slopes[1] || g.HZ < s.Slopes[2] {
+		return fmt.Errorf("core: grid halo (%d,%d,%d) < slopes %v", g.HX, g.HY, g.HZ, s.Slopes)
+	}
+	if err := checkConfig(cfg, []int{g.NX, g.NY, g.NZ}, s.Slopes); err != nil {
+		return err
+	}
+	for _, r := range cfg.Regions(steps) {
+		r := r
+		pool.For(len(r.Blocks), func(bi int) {
+			b := &r.Blocks[bi]
+			var lo, hi [3]int
+			for t := r.T0; t < r.T1; t++ {
+				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
+					continue
+				}
+				dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
+				n := hi[2] - lo[2]
+				xBase := g.Idx(lo[0], lo[1], lo[2])
+				for x := lo[0]; x < hi[0]; x++ {
+					base := xBase
+					for y := lo[1]; y < hi[1]; y++ {
+						s.K3(dst, src, base, n, g.SY, g.SX)
+						base += g.SY
+					}
+					xBase += g.SX
+				}
+			}
+		})
+	}
+	g.Step += steps
+	return nil
+}
+
+// RunND advances an n-dimensional grid by steps time steps using the
+// tessellation schedule with the generic stencil gs. It is the
+// formula-driven executor covering any dimension (paper §3 in full
+// generality); slower than the specialised ones but exercises the
+// identical geometry.
+func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *par.Pool) error {
+	if gs.Dims != g.D() {
+		return fmt.Errorf("core: stencil dims %d != grid dims %d", gs.Dims, g.D())
+	}
+	for k := 0; k < g.D(); k++ {
+		if g.Halo[k] < gs.Slopes[k] {
+			return fmt.Errorf("core: grid halo %v < slopes %v", g.Halo, gs.Slopes)
+		}
+	}
+	if err := checkConfig(cfg, g.Dims, gs.Slopes); err != nil {
+		return err
+	}
+	flat := gs.FlatOffsets(g.Strides)
+	d := g.D()
+	for _, r := range cfg.Regions(steps) {
+		r := r
+		pool.For(len(r.Blocks), func(bi int) {
+			b := &r.Blocks[bi]
+			lo := make([]int, d)
+			hi := make([]int, d)
+			p := make([]int, d)
+			for t := r.T0; t < r.T1; t++ {
+				if !cfg.ClippedBounds(&r, b, t, lo, hi) {
+					continue
+				}
+				dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
+				copy(p, lo)
+				for {
+					gs.Apply(dst, src, g.Idx(p), flat)
+					k := d - 1
+					for ; k >= 0; k-- {
+						p[k]++
+						if p[k] < hi[k] {
+							break
+						}
+						p[k] = lo[k]
+					}
+					if k < 0 {
+						break
+					}
+				}
+			}
+		})
+	}
+	g.Step += steps
+	return nil
+}
+
+// checkConfig verifies that cfg matches the grid shape and stencil
+// slopes and is internally consistent.
+func checkConfig(cfg *Config, n, slopes []int) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(cfg.N) != len(n) {
+		return fmt.Errorf("core: config rank %d != grid rank %d", len(cfg.N), len(n))
+	}
+	for k := range n {
+		if cfg.N[k] != n[k] {
+			return fmt.Errorf("core: config N %v != grid extents %v", cfg.N, n)
+		}
+		if cfg.Slopes[k] != slopes[k] {
+			return fmt.Errorf("core: config slopes %v != stencil slopes %v", cfg.Slopes, slopes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tessellate/internal/grid"
+	"tessellate/internal/naive"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+	"tessellate/internal/verify"
+)
+
+// fill* seed grids with a deterministic pseudo-random field plus a
+// non-trivial boundary so clipping bugs are visible.
+
+func fill1D(g *grid.Grid1D, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	g.Fill(func(x int) float64 { return rng.Float64() })
+	g.SetBoundary(0.5)
+}
+
+func fill2D(g *grid.Grid2D, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	g.Fill(func(x, y int) float64 { return rng.Float64() })
+	g.SetBoundary(0.25)
+}
+
+func fill3D(g *grid.Grid3D, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	g.Fill(func(x, y, z int) float64 { return rng.Float64() })
+	g.SetBoundary(0.125)
+}
+
+func TestRun1DMatchesNaive(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	for _, s := range []*stencil.Spec{stencil.Heat1D, stencil.P1D5} {
+		for _, merge := range []bool{false, true} {
+			for _, steps := range []int{1, 7, 16, 23} {
+				slope := s.Slopes[0]
+				cfg := Config{N: []int{97}, Slopes: s.Slopes, BT: 4, Big: []int{16 * slope}, Merge: merge}
+				g := grid.NewGrid1D(97, slope)
+				fill1D(g, 1)
+				ref := g.Clone()
+				if err := Run1D(g, s, steps, &cfg, pool); err != nil {
+					t.Fatalf("%s merge=%v steps=%d: %v", s.Name, merge, steps, err)
+				}
+				naive.Run1D(ref, s, steps, nil)
+				if r := verify.Grids1D(g, ref); !r.Equal {
+					t.Fatalf("%s merge=%v steps=%d: %v", s.Name, merge, steps, r.Error("tessellation-1d"))
+				}
+				if g.Step != steps {
+					t.Fatalf("Step = %d, want %d", g.Step, steps)
+				}
+			}
+		}
+	}
+}
+
+func TestRun2DMatchesNaive(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	for _, s := range []*stencil.Spec{stencil.Heat2D, stencil.Box2D9, stencil.Life} {
+		for _, merge := range []bool{false, true} {
+			for _, steps := range []int{1, 5, 12} {
+				cfg := Config{N: []int{37, 41}, Slopes: s.Slopes, BT: 3, Big: []int{10, 14}, Merge: merge}
+				g := grid.NewGrid2D(37, 41, 1, 1)
+				if s == stencil.Life {
+					rng := rand.New(rand.NewSource(2))
+					g.Fill(func(x, y int) float64 { return float64(rng.Intn(2)) })
+					g.SetBoundary(0)
+				} else {
+					fill2D(g, 2)
+				}
+				ref := g.Clone()
+				if err := Run2D(g, s, steps, &cfg, pool); err != nil {
+					t.Fatalf("%s merge=%v steps=%d: %v", s.Name, merge, steps, err)
+				}
+				naive.Run2D(ref, s, steps, nil)
+				if r := verify.Grids2D(g, ref); !r.Equal {
+					t.Fatalf("%s merge=%v steps=%d: %v", s.Name, merge, steps, r.Error("tessellation-2d"))
+				}
+			}
+		}
+	}
+}
+
+func TestRun3DMatchesNaive(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	for _, s := range []*stencil.Spec{stencil.Heat3D, stencil.Box3D27} {
+		for _, merge := range []bool{false, true} {
+			for _, steps := range []int{1, 4, 9} {
+				cfg := Config{N: []int{18, 15, 20}, Slopes: s.Slopes, BT: 2, Big: []int{6, 5, 8}, Merge: merge}
+				if cfg.Small(1) < 0 {
+					t.Fatal("bad test config")
+				}
+				g := grid.NewGrid3D(18, 15, 20, 1, 1, 1)
+				fill3D(g, 3)
+				ref := g.Clone()
+				if err := Run3D(g, s, steps, &cfg, pool); err != nil {
+					t.Fatalf("%s merge=%v steps=%d: %v", s.Name, merge, steps, err)
+				}
+				naive.Run3D(ref, s, steps, nil)
+				if r := verify.Grids3D(g, ref); !r.Equal {
+					t.Fatalf("%s merge=%v steps=%d: %v", s.Name, merge, steps, r.Error("tessellation-3d"))
+				}
+			}
+		}
+	}
+}
+
+func TestRunNDMatchesNaive(t *testing.T) {
+	pool := par.NewPool(2)
+	defer pool.Close()
+	cases := []struct {
+		dims  []int
+		big   []int
+		bt    int
+		order int
+		box   bool
+	}{
+		{[]int{40}, []int{12}, 3, 1, false},
+		{[]int{40}, []int{16}, 2, 2, false}, // high order (supernode-equivalent)
+		{[]int{16, 18}, []int{6, 8}, 2, 1, true},
+		{[]int{10, 9, 11}, []int{4, 4, 4}, 1, 1, true},
+		{[]int{6, 6, 6, 6}, []int{2, 2, 2, 2}, 1, 1, false}, // 4D: beyond the specialised executors
+	}
+	for _, tc := range cases {
+		var gs *stencil.Generic
+		if tc.box {
+			gs = stencil.NewBox(len(tc.dims), tc.order)
+		} else {
+			gs = stencil.NewStar(len(tc.dims), tc.order)
+		}
+		cfg := Config{N: tc.dims, Slopes: gs.Slopes, BT: tc.bt, Big: tc.big, Merge: true}
+		halo := make([]int, len(tc.dims))
+		for k := range halo {
+			halo[k] = tc.order
+		}
+		g := grid.NewNDGrid(tc.dims, halo)
+		rng := rand.New(rand.NewSource(4))
+		g.Fill(func(c []int) float64 { return rng.Float64() })
+		ref := g.Clone()
+		steps := 3 * tc.bt
+		if err := RunND(g, gs, steps, &cfg, pool); err != nil {
+			t.Fatalf("%s: %v", gs.Name, err)
+		}
+		naive.RunND(ref, gs, steps, false)
+		if r := verify.GridsND(g, ref); !r.Equal {
+			t.Fatalf("%s dims=%v: %v", gs.Name, tc.dims, r.Error("tessellation-nd"))
+		}
+	}
+}
+
+// Fuzz the full pipeline: random configs, random steps, random domain,
+// comparing tessellation output against the naive reference.
+func TestRunFuzzAgainstNaive(t *testing.T) {
+	pool := par.NewPool(3)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(99))
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	for it := 0; it < iters; it++ {
+		bt := 1 + rng.Intn(4)
+		merge := rng.Intn(2) == 0
+		steps := 1 + rng.Intn(3*bt+3)
+		switch rng.Intn(2) {
+		case 0:
+			big := 2*bt + rng.Intn(2*bt+4)
+			cfg := Config{N: []int{10 + rng.Intn(60)}, Slopes: []int{1}, BT: bt, Big: []int{big}, Merge: merge}
+			g := grid.NewGrid1D(cfg.N[0], 1)
+			fill1D(g, int64(it))
+			ref := g.Clone()
+			if err := Run1D(g, stencil.Heat1D, steps, &cfg, pool); err != nil {
+				t.Fatalf("iter %d: %v", it, err)
+			}
+			naive.Run1D(ref, stencil.Heat1D, steps, nil)
+			if r := verify.Grids1D(g, ref); !r.Equal {
+				t.Fatalf("iter %d cfg=%+v steps=%d: %v", it, cfg, steps, r.Error("fuzz-1d"))
+			}
+		default:
+			bigx := 2*bt + rng.Intn(2*bt+4)
+			bigy := 2*bt + rng.Intn(2*bt+4)
+			cfg := Config{N: []int{5 + rng.Intn(30), 5 + rng.Intn(30)}, Slopes: []int{1, 1}, BT: bt, Big: []int{bigx, bigy}, Merge: merge}
+			g := grid.NewGrid2D(cfg.N[0], cfg.N[1], 1, 1)
+			fill2D(g, int64(it))
+			ref := g.Clone()
+			if err := Run2D(g, stencil.Box2D9, steps, &cfg, pool); err != nil {
+				t.Fatalf("iter %d: %v", it, err)
+			}
+			naive.Run2D(ref, stencil.Box2D9, steps, nil)
+			if r := verify.Grids2D(g, ref); !r.Equal {
+				t.Fatalf("iter %d cfg=%+v steps=%d: %v", it, cfg, steps, r.Error("fuzz-2d"))
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadArguments(t *testing.T) {
+	pool := par.NewPool(1)
+	defer pool.Close()
+	g1 := grid.NewGrid1D(20, 1)
+	cfg := Config{N: []int{20}, Slopes: []int{1}, BT: 2, Big: []int{8}, Merge: true}
+
+	if err := Run1D(g1, stencil.Heat2D, 4, &cfg, pool); err == nil {
+		t.Error("2D kernel on 1D run should fail")
+	}
+	if err := Run1D(g1, stencil.P1D5, 4, &cfg, pool); err == nil {
+		t.Error("halo 1 with slope-2 stencil should fail")
+	}
+	badN := cfg
+	badN.N = []int{21}
+	if err := Run1D(g1, stencil.Heat1D, 4, &badN, pool); err == nil {
+		t.Error("config/grid extent mismatch should fail")
+	}
+	badBig := cfg
+	badBig.Big = []int{2}
+	if err := Run1D(g1, stencil.Heat1D, 4, &badBig, pool); err == nil {
+		t.Error("Big < 2*BT*S should fail")
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file contains the closed-form mathematics of §3: the per-stage
+// update counts T_i (Lemma 3.2) on the canonical sub-block B_0⁺, and
+// the combinatorial properties of Table 1. The executors never use
+// these directly — they drive the equivalent rectangle sweeps — but the
+// tests cross-check both against each other, and cmd/tessviz prints the
+// paper's Tables 1–3 from them.
+
+// StageStart returns T_i^s(a_0..a_{d-1}) for tile radius b:
+// max(b-a_0, ..., b-a_{i-1}), and 0 for i == 0.
+func StageStart(i, b int, a []int) int {
+	m := 0
+	for k := 0; k < i; k++ {
+		if v := b - a[k]; v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// StageEnd returns T_i^e(a_0..a_{d-1}) for tile radius b:
+// b - max(a_i, ..., a_{d-1}), and b for i == d.
+func StageEnd(i, b int, a []int) int {
+	m := 0
+	for k := i; k < len(a); k++ {
+		if a[k] > m {
+			m = a[k]
+		}
+	}
+	return b - m
+}
+
+// StageCount returns T_i(a): the number of updates point a of B_0⁺
+// receives in stage i (Lemma 3.2). The B_i block containing a is glued
+// along the i dimensions where a's coordinates are largest (closest to
+// the b-faces of B_0⁺), so the canonical head-glued formula applies to
+// the coordinates sorted in descending order; by Lemma 3.4 every other
+// orientation yields a non-positive count, which is why the result is
+// clamped at zero for boundary ties.
+func StageCount(i, b int, a []int) int {
+	sorted := append([]int(nil), a...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	v := StageEnd(i, b, sorted) - StageStart(i, b, sorted)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Binom returns the binomial coefficient C(n, k).
+func Binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+	}
+	return r
+}
+
+// Table1 holds the properties of the d-dimensional tessellation listed
+// in the paper's Table 1.
+type Table1 struct {
+	Dim              int
+	StagesPerPhase   int // d+1
+	B0Volume         func(b int) int
+	SplitSubblocks   []int // 2(d-i) for stage i in 0..d-1
+	CombineSubblocks []int // 2i for stage i in 1..d
+	SurfaceCenters   []int // 2^i * C(d,i) B_i centres on a B_0 surface, i in 0..d
+	OrthantCenters   []int // C(d,i) B_i centres on a B_0^+ surface, i in 0..d
+	ShapeKinds       int   // ceil((d+1)/2)
+}
+
+// Properties computes Table 1 for dimension d.
+func Properties(d int) Table1 {
+	t := Table1{
+		Dim:            d,
+		StagesPerPhase: d + 1,
+		B0Volume: func(b int) int {
+			v := 1
+			for k := 0; k < d; k++ {
+				v *= 2*b + 1
+			}
+			return v
+		},
+		ShapeKinds: (d + 2) / 2,
+	}
+	for i := 0; i < d; i++ {
+		t.SplitSubblocks = append(t.SplitSubblocks, 2*(d-i))
+	}
+	for i := 1; i <= d; i++ {
+		t.CombineSubblocks = append(t.CombineSubblocks, 2*i)
+	}
+	for i := 0; i <= d; i++ {
+		t.SurfaceCenters = append(t.SurfaceCenters, (1<<uint(i))*Binom(d, i))
+		t.OrthantCenters = append(t.OrthantCenters, Binom(d, i))
+	}
+	return t
+}
+
+// StageTable renders the T_i values of B_0⁺ for a d-dimensional
+// stencil with tile radius b, one table per stage, as the paper's
+// Tables 2 and 3 do. Entry [i] is indexed [a_0][a_1]...; boundary
+// points that receive zero updates in a stage print as -1.
+//
+// The returned tensor is flattened row-major over the (b+1)^d points.
+func StageTable(d, b, stage int) []int {
+	n := 1
+	for k := 0; k < d; k++ {
+		n *= b + 1
+	}
+	out := make([]int, n)
+	a := make([]int, d)
+	for idx := 0; idx < n; idx++ {
+		rem := idx
+		for k := d - 1; k >= 0; k-- {
+			a[k] = rem % (b + 1)
+			rem /= b + 1
+		}
+		v := StageCount(stage, b, a)
+		if v == 0 {
+			v = -1 // the paper's '-' entries: not part of this B_i block
+		}
+		out[idx] = v
+	}
+	return out
+}
+
+// CheckTheorem35 verifies Σ_i T_i(a) == b over the whole of B_0⁺ and
+// returns an error naming the first failing point, if any.
+func CheckTheorem35(d, b int) error {
+	n := 1
+	for k := 0; k < d; k++ {
+		n *= b + 1
+	}
+	a := make([]int, d)
+	for idx := 0; idx < n; idx++ {
+		rem := idx
+		for k := d - 1; k >= 0; k-- {
+			a[k] = rem % (b + 1)
+			rem /= b + 1
+		}
+		sum := 0
+		for i := 0; i <= d; i++ {
+			sum += StageCount(i, b, a)
+		}
+		if sum != b {
+			return fmt.Errorf("core: Theorem 3.5 fails at %v: sum %d != %d", a, sum, b)
+		}
+	}
+	return nil
+}

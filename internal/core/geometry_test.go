@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestRegionStructureMerged checks the synchronization count of §4.3:
+// a merged schedule has d regions per phase (1 diamond + d-1 middle
+// stages), an unmerged one d+1.
+func TestRegionStructureMerged(t *testing.T) {
+	for d := 1; d <= 3; d++ {
+		n := make([]int, d)
+		slopes := make([]int, d)
+		big := make([]int, d)
+		for k := 0; k < d; k++ {
+			n[k] = 24
+			slopes[k] = 1
+			big[k] = 8
+		}
+		bt := 2
+		steps := 4 * bt // four full phases
+
+		merged := Config{N: n, Slopes: slopes, BT: bt, Big: big, Merge: true}
+		rs := merged.Regions(steps)
+		// Windows w = -1..3 (w*BT < steps): 5 windows; the last window's
+		// middle stages are empty (t0 >= t1), so regions =
+		// 5 diamonds + 4*(d-1) middle stages.
+		wantMerged := 5 + 4*(d-1)
+		if len(rs) != wantMerged {
+			t.Errorf("d=%d merged: %d regions, want %d", d, len(rs), wantMerged)
+		}
+		if got := merged.SyncsPerPhase(); got != d {
+			t.Errorf("d=%d merged: SyncsPerPhase = %d, want %d", d, got, d)
+		}
+
+		unmerged := merged
+		unmerged.Merge = false
+		rs = unmerged.Regions(steps)
+		if want := 4 * (d + 1); len(rs) != want {
+			t.Errorf("d=%d unmerged: %d regions, want %d", d, len(rs), want)
+		}
+		if got := unmerged.SyncsPerPhase(); got != d+1 {
+			t.Errorf("d=%d unmerged: SyncsPerPhase = %d, want %d", d, got, d+1)
+		}
+	}
+}
+
+// TestBlockSharingAcrossPhases verifies the schedule's O(blocks) memory
+// claim: regions of equal parity and kind share the same block slice.
+func TestBlockSharingAcrossPhases(t *testing.T) {
+	cfg := Config{N: []int{48, 48}, Slopes: []int{1, 1}, BT: 2, Big: []int{8, 8}, Merge: true}
+	rs := cfg.Regions(10 * cfg.BT)
+	var diamonds [2][]Block
+	for _, r := range rs {
+		if !r.Diamond {
+			continue
+		}
+		parity := (r.Ref / cfg.BT) & 1
+		if diamonds[parity] == nil {
+			diamonds[parity] = r.Blocks
+			continue
+		}
+		if &diamonds[parity][0] != &r.Blocks[0] {
+			t.Fatal("diamond regions of equal parity do not share block storage")
+		}
+	}
+}
+
+// TestBlockCountsMatchTable1 checks on a clean periodic lattice that
+// stage i has C(d,i) times as many blocks as stage 0 (paper: "The
+// number of B_i blocks is C(d,i) times larger than the number of B_0
+// blocks").
+func TestBlockCountsMatchTable1(t *testing.T) {
+	for d := 1; d <= 3; d++ {
+		n := make([]int, d)
+		slopes := make([]int, d)
+		big := make([]int, d)
+		for k := 0; k < d; k++ {
+			slopes[k] = 1
+			big[k] = 6
+		}
+		cfg := Config{N: n, Slopes: slopes, BT: 2, Big: big, Merge: true}
+		cells := 3 // lattice cells per dimension
+		for k := 0; k < d; k++ {
+			n[k] = cells * cfg.Spacing(k)
+		}
+		rs := cfg.periodicRegions(cfg.BT)
+		b0 := 1
+		for k := 0; k < d; k++ {
+			b0 *= cells
+		}
+		// Region 0 is the diamond region: B_d (== B_0 count).
+		if len(rs[0].Blocks) != b0 {
+			t.Errorf("d=%d: %d diamond blocks, want %d", d, len(rs[0].Blocks), b0)
+		}
+		// Middle regions: stage i has C(d,i)*b0 blocks.
+		for i := 1; i < d; i++ {
+			if got, want := len(rs[i].Blocks), Binom(d, i)*b0; got != want {
+				t.Errorf("d=%d stage %d: %d blocks, want %d", d, i, got, want)
+			}
+		}
+	}
+}
+
+// TestOrientations pins the orientation enumeration.
+func TestOrientations(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		for i := 0; i <= d; i++ {
+			os := orientations(d, i)
+			if len(os) != Binom(d, i) {
+				t.Errorf("orientations(%d,%d): %d masks, want C(%d,%d)=%d", d, i, len(os), d, i, Binom(d, i))
+			}
+			for _, g := range os {
+				if bits.OnesCount(g) != i {
+					t.Errorf("orientations(%d,%d) contains mask %b", d, i, g)
+				}
+			}
+		}
+	}
+}
+
+// TestFloorDiv pins floor semantics for negative operands, which the
+// lattice enumeration depends on.
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{7, 2, 3}, {-7, 2, -4}, {-8, 2, -4}, {0, 5, 0}, {-1, 5, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestDefaultConfigAlwaysValid fuzzes DefaultConfig over many shapes.
+func TestDefaultConfigAlwaysValid(t *testing.T) {
+	shapes := [][]int{
+		{5}, {16}, {1000000}, {7, 9}, {100, 100}, {6000, 6000},
+		{16, 16, 16}, {256, 256, 256}, {5, 200, 13},
+	}
+	for _, n := range shapes {
+		slopes := make([]int, len(n))
+		for k := range slopes {
+			slopes[k] = 1 + k%2
+		}
+		cfg := DefaultConfig(n, slopes)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("DefaultConfig(%v, %v) invalid: %v", n, slopes, err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tessellate/internal/grid"
+	"tessellate/internal/naive"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+	"tessellate/internal/verify"
+)
+
+func TestValidatePeriodicConfig(t *testing.T) {
+	good := Config{N: []int{24}, Slopes: []int{1}, BT: 2, Big: []int{8}, Merge: true} // spacing 12 | 24
+	if err := ValidatePeriodicConfig(&good); err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{N: []int{25}, Slopes: []int{1}, BT: 2, Big: []int{8}, Merge: true}
+	if err := ValidatePeriodicConfig(&bad); err == nil {
+		t.Fatal("non-multiple domain accepted for periodic run")
+	}
+}
+
+func TestValidatePeriodicSchedules(t *testing.T) {
+	cases := []Config{
+		{N: []int{24}, Slopes: []int{1}, BT: 2, Big: []int{8}, Merge: true},            // spacing 12
+		{N: []int{40}, Slopes: []int{1}, BT: 3, Big: []int{13}, Merge: true},           // spacing 20
+		{N: []int{24, 36}, Slopes: []int{1, 1}, BT: 2, Big: []int{8, 11}, Merge: true}, // 12, 18
+		{N: []int{20, 20, 20}, Slopes: []int{1, 1, 1}, BT: 1, Big: []int{6, 6, 6}, Merge: true},
+	}
+	for _, cfg := range cases {
+		for _, steps := range []int{1, 2 * cfg.BT, 3*cfg.BT + 1} {
+			if err := ValidatePeriodic(&cfg, steps); err != nil {
+				t.Errorf("cfg=%+v steps=%d: %v", cfg, steps, err)
+			}
+		}
+	}
+}
+
+func TestRunNDPeriodicMatchesNaive(t *testing.T) {
+	pool := par.NewPool(3)
+	defer pool.Close()
+	cases := []struct {
+		dims []int
+		big  []int
+		bt   int
+	}{
+		{[]int{24}, []int{8}, 2},
+		{[]int{24, 36}, []int{8, 11}, 2},
+		{[]int{20, 20, 20}, []int{6, 6, 6}, 1},
+	}
+	for _, tc := range cases {
+		d := len(tc.dims)
+		gs := stencil.NewStar(d, 1)
+		cfg := Config{N: tc.dims, Slopes: gs.Slopes, BT: tc.bt, Big: tc.big, Merge: true}
+		halo := make([]int, d)
+		g := grid.NewNDGrid(tc.dims, halo)
+		rng := rand.New(rand.NewSource(17))
+		g.Fill(func(c []int) float64 { return rng.Float64() })
+		ref := g.Clone()
+		steps := 3*tc.bt + 1
+		if err := RunNDPeriodic(g, gs, steps, &cfg, pool); err != nil {
+			t.Fatalf("dims=%v: %v", tc.dims, err)
+		}
+		naive.RunND(ref, gs, steps, true)
+		if r := verify.GridsND(g, ref); !r.Equal {
+			t.Fatalf("dims=%v: %v", tc.dims, r.Error("periodic-nd"))
+		}
+	}
+}
+
+func TestRunNDPeriodicBoxStencil(t *testing.T) {
+	pool := par.NewPool(2)
+	defer pool.Close()
+	gs := stencil.NewBox(2, 1)
+	cfg := Config{N: []int{24, 24}, Slopes: gs.Slopes, BT: 2, Big: []int{8, 8}, Merge: true}
+	g := grid.NewNDGrid([]int{24, 24}, []int{0, 0})
+	rng := rand.New(rand.NewSource(18))
+	g.Fill(func(c []int) float64 { return rng.Float64() })
+	ref := g.Clone()
+	if err := RunNDPeriodic(g, gs, 7, &cfg, pool); err != nil {
+		t.Fatal(err)
+	}
+	naive.RunND(ref, gs, 7, true)
+	if r := verify.GridsND(g, ref); !r.Equal {
+		t.Fatal(r.Error("periodic-box"))
+	}
+}
+
+func TestRunNDPeriodicRejectsBadDomain(t *testing.T) {
+	pool := par.NewPool(1)
+	defer pool.Close()
+	gs := stencil.NewStar(1, 1)
+	cfg := Config{N: []int{25}, Slopes: []int{1}, BT: 2, Big: []int{8}, Merge: true}
+	g := grid.NewNDGrid([]int{25}, []int{0})
+	if err := RunNDPeriodic(g, gs, 4, &cfg, pool); err == nil {
+		t.Fatal("non-multiple domain accepted")
+	}
+}
+
+// Periodic fuzz: random multiples and tile shapes.
+func TestPeriodicFuzz(t *testing.T) {
+	pool := par.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(19))
+	iters := 25
+	if testing.Short() {
+		iters = 6
+	}
+	for it := 0; it < iters; it++ {
+		bt := 1 + rng.Intn(3)
+		big := 2*bt + rng.Intn(2*bt+3)
+		cfg := Config{N: []int{0}, Slopes: []int{1}, BT: bt, Big: []int{big}, Merge: true}
+		sp := cfg.Spacing(0)
+		cfg.N[0] = sp * (1 + rng.Intn(4))
+		steps := 1 + rng.Intn(3*bt+2)
+
+		gs := stencil.NewStar(1, 1)
+		g := grid.NewNDGrid(cfg.N, []int{0})
+		g.Fill(func(c []int) float64 { return rng.Float64() })
+		ref := g.Clone()
+		if err := RunNDPeriodic(g, gs, steps, &cfg, pool); err != nil {
+			t.Fatalf("iter %d cfg=%+v: %v", it, cfg, err)
+		}
+		naive.RunND(ref, gs, steps, true)
+		if r := verify.GridsND(g, ref); !r.Equal {
+			t.Fatalf("iter %d cfg=%+v steps=%d: %v", it, cfg, steps, r.Error("periodic-fuzz"))
+		}
+	}
+}

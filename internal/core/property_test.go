@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomConfig derives a legal 1D/2D configuration from fuzz bytes.
+func randomConfig(a, b, c, d uint8) Config {
+	dims := 1 + int(a)%2
+	cfg := Config{
+		N:      make([]int, dims),
+		Slopes: make([]int, dims),
+		Big:    make([]int, dims),
+		BT:     1 + int(b)%4,
+		Merge:  c%2 == 0,
+	}
+	for k := 0; k < dims; k++ {
+		cfg.Slopes[k] = 1
+		minBig := 2 * cfg.BT
+		cfg.Big[k] = minBig + int(d)%(minBig+3)
+		cfg.N[k] = 5 + int(c)%40
+	}
+	return cfg
+}
+
+// Property: shrinking-mode boxes are nested over time (rect at u+1 is
+// contained in rect at u), expanding boxes are anti-nested, and diamond
+// boxes expand to the waist then shrink.
+func TestBoundsMonotonicity(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		cfg := randomConfig(a, b, c, d)
+		if cfg.Validate() != nil {
+			return true
+		}
+		dims := cfg.Dims()
+		lo1 := make([]int, dims)
+		hi1 := make([]int, dims)
+		lo2 := make([]int, dims)
+		hi2 := make([]int, dims)
+		for _, r := range cfg.Regions(2 * cfg.BT) {
+			for bi := range r.Blocks {
+				blk := &r.Blocks[bi]
+				for tt := r.T0; tt < r.T1-1; tt++ {
+					cfg.Bounds(&r, blk, tt, lo1, hi1)
+					cfg.Bounds(&r, blk, tt+1, lo2, hi2)
+					for k := 0; k < dims; k++ {
+						grow := false
+						if r.Diamond {
+							grow = tt+1 < r.Ref // waist at t+1 == Ref
+						} else {
+							grow = blk.Glued&(1<<uint(k)) != 0
+						}
+						if grow {
+							if lo2[k] > lo1[k] || hi2[k] < hi1[k] {
+								return false
+							}
+						} else {
+							if lo2[k] < lo1[k] || hi2[k] > hi1[k] {
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-dimension box edges move by exactly one slope per step
+// — the "light loop overhead" structure of the scheme (bounds are
+// affine in t).
+func TestBoundsSlopeIsConstant(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		cfg := randomConfig(a, b, c, d)
+		if cfg.Validate() != nil {
+			return true
+		}
+		dims := cfg.Dims()
+		lo1 := make([]int, dims)
+		hi1 := make([]int, dims)
+		lo2 := make([]int, dims)
+		hi2 := make([]int, dims)
+		for _, r := range cfg.Regions(cfg.BT) {
+			for bi := range r.Blocks {
+				blk := &r.Blocks[bi]
+				for tt := r.T0; tt < r.T1-1; tt++ {
+					cfg.Bounds(&r, blk, tt, lo1, hi1)
+					cfg.Bounds(&r, blk, tt+1, lo2, hi2)
+					for k := 0; k < dims; k++ {
+						dl := lo2[k] - lo1[k]
+						dh := hi2[k] - hi1[k]
+						if abs(dl) != cfg.Slopes[k] || abs(dh) != cfg.Slopes[k] {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ClippedBounds never escapes the domain.
+func TestClippedBoundsWithinDomain(t *testing.T) {
+	f := func(a, b, c, d uint8, steps uint8) bool {
+		cfg := randomConfig(a, b, c, d)
+		if cfg.Validate() != nil {
+			return true
+		}
+		st := 1 + int(steps)%(3*cfg.BT)
+		dims := cfg.Dims()
+		lo := make([]int, dims)
+		hi := make([]int, dims)
+		for _, r := range cfg.Regions(st) {
+			for bi := range r.Blocks {
+				for tt := r.T0; tt < r.T1; tt++ {
+					if !cfg.ClippedBounds(&r, &r.Blocks[bi], tt, lo, hi) {
+						continue
+					}
+					for k := 0; k < dims; k++ {
+						if lo[k] < 0 || hi[k] > cfg.N[k] || lo[k] >= hi[k] {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total update volume across the whole schedule equals
+// points x steps — a cheap global form of Theorem 3.5, checked on many
+// random configurations (the full validator checks per-point).
+func TestScheduleVolume(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for it := 0; it < 50; it++ {
+		cfg := randomConfig(uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256)))
+		if cfg.Validate() != nil {
+			continue
+		}
+		steps := 1 + rng.Intn(3*cfg.BT)
+		dims := cfg.Dims()
+		lo := make([]int, dims)
+		hi := make([]int, dims)
+		var vol int64
+		for _, r := range cfg.Regions(steps) {
+			for bi := range r.Blocks {
+				for tt := r.T0; tt < r.T1; tt++ {
+					if !cfg.ClippedBounds(&r, &r.Blocks[bi], tt, lo, hi) {
+						continue
+					}
+					v := int64(1)
+					for k := 0; k < dims; k++ {
+						v *= int64(hi[k] - lo[k])
+					}
+					vol += v
+				}
+			}
+		}
+		points := int64(1)
+		for _, n := range cfg.N {
+			points *= int64(n)
+		}
+		if vol != points*int64(steps) {
+			t.Fatalf("cfg=%+v steps=%d: volume %d != %d", cfg, steps, vol, points*int64(steps))
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

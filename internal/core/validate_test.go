@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValidate1DBasic(t *testing.T) {
+	for _, merge := range []bool{false, true} {
+		cfg := Config{N: []int{40}, Slopes: []int{1}, BT: 4, Big: []int{12}, Merge: merge}
+		if err := ValidateSchedule(&cfg, 13); err != nil {
+			t.Fatalf("merge=%v: %v", merge, err)
+		}
+	}
+}
+
+func TestValidate2DBasic(t *testing.T) {
+	for _, merge := range []bool{false, true} {
+		cfg := Config{N: []int{20, 24}, Slopes: []int{1, 1}, BT: 3, Big: []int{8, 10}, Merge: merge}
+		if err := ValidateSchedule(&cfg, 10); err != nil {
+			t.Fatalf("merge=%v: %v", merge, err)
+		}
+	}
+}
+
+func TestValidate3DBasic(t *testing.T) {
+	for _, merge := range []bool{false, true} {
+		cfg := Config{N: []int{12, 10, 14}, Slopes: []int{1, 1, 1}, BT: 2, Big: []int{6, 4, 6}, Merge: merge}
+		if err := ValidateSchedule(&cfg, 7); err != nil {
+			t.Fatalf("merge=%v: %v", merge, err)
+		}
+	}
+}
+
+func TestValidateHighOrder1D(t *testing.T) {
+	cfg := Config{N: []int{50}, Slopes: []int{2}, BT: 3, Big: []int{16}, Merge: true}
+	if err := ValidateSchedule(&cfg, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate4D(t *testing.T) {
+	cfg := Config{N: []int{6, 6, 6, 6}, Slopes: []int{1, 1, 1, 1}, BT: 1, Big: []int{3, 3, 3, 3}, Merge: true}
+	if err := ValidateSchedule(&cfg, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fuzz the schedule generator over random shapes, block sizes, time
+// tile heights, slopes, step counts and both merge modes. Any geometry
+// bug (mis-derived offsets, wrong phase shift, broken clipping) shows
+// up here as a coverage or dependence violation.
+func TestValidateFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for it := 0; it < iters; it++ {
+		d := 1 + rng.Intn(3)
+		cfg := Config{
+			N:      make([]int, d),
+			Slopes: make([]int, d),
+			Big:    make([]int, d),
+			BT:     1 + rng.Intn(4),
+			Merge:  rng.Intn(2) == 0,
+		}
+		for k := 0; k < d; k++ {
+			cfg.Slopes[k] = 1
+			if d == 1 && rng.Intn(2) == 0 {
+				cfg.Slopes[k] = 2
+			}
+			minBig := 2 * cfg.BT * cfg.Slopes[k]
+			cfg.Big[k] = minBig + rng.Intn(minBig+3)
+			cfg.N[k] = 3 + rng.Intn(30/d*4)
+		}
+		steps := 1 + rng.Intn(3*cfg.BT+2)
+		if err := ValidateSchedule(&cfg, steps); err != nil {
+			t.Fatalf("iter %d cfg=%+v steps=%d: %v", it, cfg, steps, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{N: []int{10}, Slopes: []int{1}, BT: 4, Big: []int{4}},    // Big < 2*BT*S
+		{N: []int{10}, Slopes: []int{1}, BT: 0, Big: []int{8}},    // BT < 1
+		{N: []int{}, Slopes: []int{}, BT: 1, Big: []int{}},        // empty
+		{N: []int{10}, Slopes: []int{1, 1}, BT: 1, Big: []int{4}}, // rank mismatch
+		{N: []int{0}, Slopes: []int{1}, BT: 1, Big: []int{4}},     // N < 1
+		{N: []int{4}, Slopes: []int{0}, BT: 1, Big: []int{4}},     // slope < 1
+	}
+	for i, cfg := range bad {
+		if err := ValidateSchedule(&cfg, 4); err == nil {
+			t.Errorf("config %d should have been rejected", i)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package diamond implements concurrent-start diamond tiling
+// [Bandishti et al., SC'12], the scheme Pluto generates and the
+// paper's primary comparator.
+//
+// The 1D executor is a direct translation of the reference loop nest in
+// the paper's artifact appendix: the iteration space is tiled by
+// diamonds of spatial extent BX and temporal extent 2*BT; all diamonds
+// of one level execute concurrently, and levels alternate between the
+// two interleaved diamond lattices. For 2D/3D grids the diamond runs
+// along the outermost (x) dimension and the inner dimensions are swept
+// in full, the common "leave inner dimensions uncut" realisation (see
+// DESIGN.md for the substitution note).
+package diamond
+
+import (
+	"fmt"
+
+	"tessellate/internal/grid"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+)
+
+// Config parametrises the diamond tiling: BX is the diamond's maximal
+// spatial width along x, BT its half-height in time steps.
+type Config struct {
+	BX int
+	BT int
+}
+
+// Validate checks the configuration against a stencil's x slope.
+func (c *Config) Validate(slopeX int) error {
+	if c.BT < 1 {
+		return fmt.Errorf("diamond: BT=%d, must be >= 1", c.BT)
+	}
+	if c.BX < 2*c.BT*slopeX {
+		return fmt.Errorf("diamond: BX=%d < 2*BT*slope=%d: diamonds would self-intersect", c.BX, 2*c.BT*slopeX)
+	}
+	return nil
+}
+
+// geometry carries the per-level diamond lattice, as in the appendix
+// code: xright[level] is the right edge (interior coordinates) of the
+// leftmost diamond's waist, ix the lattice period, nb0[level] the block
+// count.
+type geometry struct {
+	s     int // x slope
+	bx    int // waist width
+	ix    int
+	xr    [2]int
+	nb0   [2]int
+	bt    int
+	steps int
+}
+
+func newGeometry(cfg Config, n, slopeX, steps int) geometry {
+	g := geometry{s: slopeX, bt: cfg.BT, steps: steps}
+	g.bx = cfg.BX
+	g.ix = 2*g.bx - 2*cfg.BT*slopeX
+	g.xr[0] = g.bx
+	g.xr[1] = g.bx - g.ix/2
+	for l := 0; l < 2; l++ {
+		g.nb0[l] = (n+g.bx-g.xr[l]-1)/g.ix + 1
+	}
+	return g
+}
+
+// bounds returns the clipped x interval of diamond n at level l, time
+// t; ok reports non-emptiness. The waist (maximal width) is at
+// t+1 == tt+bt, exactly the appendix's myabs(t+1, tt+bt) form.
+func (g *geometry) bounds(l, n, t, tt, domain int) (lo, hi int, ok bool) {
+	a := t + 1 - (tt + g.bt)
+	if a < 0 {
+		a = -a
+	}
+	lo = g.xr[l] - g.bx + n*g.ix + a*g.s
+	hi = g.xr[l] + n*g.ix - a*g.s
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > domain {
+		hi = domain
+	}
+	return lo, hi, lo < hi
+}
+
+// forEachLevel drives the appendix's outer loop: for each time window
+// tt (stride BT), all diamonds of the current level run in parallel
+// over [max(tt,0), min(tt+2*BT, steps)), then the level flips.
+func (g *geometry) forEachLevel(pool *par.Pool, body func(l, n, tt int)) {
+	level := 0
+	for tt := -g.bt; tt < g.steps; tt += g.bt {
+		l, tt := level, tt
+		pool.For(g.nb0[l], func(n int) { body(l, n, tt) })
+		level = 1 - level
+	}
+}
+
+// Run1D advances a 1D grid by steps time steps with diamond tiling.
+func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg Config, pool *par.Pool) error {
+	if s.Dims != 1 || s.K1 == nil {
+		return fmt.Errorf("diamond: %s is not a 1D kernel", s.Name)
+	}
+	if err := cfg.Validate(s.Slopes[0]); err != nil {
+		return err
+	}
+	geo := newGeometry(cfg, g.N, s.Slopes[0], steps)
+	h := g.H
+	geo.forEachLevel(pool, func(l, n, tt int) {
+		for t := max(tt, 0); t < min(tt+2*cfg.BT, steps); t++ {
+			if lo, hi, ok := geo.bounds(l, n, t, tt, g.N); ok {
+				s.K1(g.Buf[(t+1)&1], g.Buf[t&1], lo+h, hi+h)
+			}
+		}
+	})
+	g.Step += steps
+	return nil
+}
+
+// Run2D advances a 2D grid by steps time steps: diamonds along x, full
+// sweep along y.
+func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg Config, pool *par.Pool) error {
+	if s.Dims != 2 || s.K2 == nil {
+		return fmt.Errorf("diamond: %s is not a 2D kernel", s.Name)
+	}
+	if err := cfg.Validate(s.Slopes[0]); err != nil {
+		return err
+	}
+	geo := newGeometry(cfg, g.NX, s.Slopes[0], steps)
+	geo.forEachLevel(pool, func(l, n, tt int) {
+		for t := max(tt, 0); t < min(tt+2*cfg.BT, steps); t++ {
+			lo, hi, ok := geo.bounds(l, n, t, tt, g.NX)
+			if !ok {
+				continue
+			}
+			dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
+			for x := lo; x < hi; x++ {
+				s.K2(dst, src, g.Idx(x, 0), g.NY, g.SY)
+			}
+		}
+	})
+	g.Step += steps
+	return nil
+}
+
+// Run3D advances a 3D grid by steps time steps: diamonds along x, full
+// sweeps along y and z.
+func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg Config, pool *par.Pool) error {
+	if s.Dims != 3 || s.K3 == nil {
+		return fmt.Errorf("diamond: %s is not a 3D kernel", s.Name)
+	}
+	if err := cfg.Validate(s.Slopes[0]); err != nil {
+		return err
+	}
+	geo := newGeometry(cfg, g.NX, s.Slopes[0], steps)
+	geo.forEachLevel(pool, func(l, n, tt int) {
+		for t := max(tt, 0); t < min(tt+2*cfg.BT, steps); t++ {
+			lo, hi, ok := geo.bounds(l, n, t, tt, g.NX)
+			if !ok {
+				continue
+			}
+			dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
+			for x := lo; x < hi; x++ {
+				for y := 0; y < g.NY; y++ {
+					s.K3(dst, src, g.Idx(x, y, 0), g.NZ, g.SY, g.SX)
+				}
+			}
+		}
+	})
+	g.Step += steps
+	return nil
+}
+
+// Profile returns the number of concurrently executable diamonds in
+// each parallel region (one region per BT-step level). Concurrent
+// start: the first region is already full-width.
+func Profile(cfg Config, n, slopeX, steps int) []int {
+	geo := newGeometry(cfg, n, slopeX, steps)
+	var out []int
+	level := 0
+	for tt := -geo.bt; tt < steps; tt += geo.bt {
+		out = append(out, geo.nb0[level])
+		level = 1 - level
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package dist
+
+import (
+	"fmt"
+
+	"tessellate/internal/grid"
+)
+
+// GatherTo collects every rank's territory at rank root over the
+// transport, so no shared memory is needed (the real-cluster path; the
+// in-process tests use Territory directly). All ranks must call
+// GatherTo with the same root; on the root, dst receives the full
+// field and the call returns after all territories arrive. On other
+// ranks dst is ignored (may be nil).
+func (r *Rank) GatherTo(root int, dst *grid.Grid2D) error {
+	ny := r.cfg.N[1]
+	if r.ID != root {
+		// Pack our territory row-major and send it to the root.
+		buf := make([]float64, r.part.Width()*ny)
+		for x := r.part.X0; x < r.part.X1; x++ {
+			row := r.local.Idx(x-r.xbase, 0)
+			copy(buf[(x-r.part.X0)*ny:], r.local.Buf[r.local.Step&1][row:row+ny])
+		}
+		return r.tr.Send(root, buf)
+	}
+	if dst == nil || dst.NX != r.cfg.N[0] || dst.NY != ny {
+		return fmt.Errorf("dist: gather destination must be %v", r.cfg.N)
+	}
+	dst.Step = r.local.Step
+	r.Territory(dst)
+	parts, err := Slabs(r.cfg.N[0], r.NRanks, r.h)
+	if err != nil {
+		return err
+	}
+	for peer := 0; peer < r.NRanks; peer++ {
+		if peer == root {
+			continue
+		}
+		p := parts[peer]
+		buf := make([]float64, p.Width()*ny)
+		if err := r.tr.Recv(peer, buf); err != nil {
+			return err
+		}
+		for x := p.X0; x < p.X1; x++ {
+			row := dst.Idx(x, 0)
+			copy(dst.Buf[dst.Step&1][row:row+ny], buf[(x-p.X0)*ny:(x-p.X0+1)*ny])
+		}
+	}
+	return nil
+}

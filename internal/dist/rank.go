@@ -1,0 +1,295 @@
+package dist
+
+import (
+	"fmt"
+
+	"tessellate/internal/core"
+	"tessellate/internal/grid"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+)
+
+// Partition describes one rank's share of the global x range.
+type Partition struct {
+	X0, X1 int // territory [X0, X1)
+	ExtLo  int // exchange-halo width below X0 (clipped at the domain)
+	ExtHi  int // exchange-halo width above X1
+}
+
+// Width returns the territory width.
+func (p Partition) Width() int { return p.X1 - p.X0 }
+
+// Slabs partitions [0, nx) into nranks contiguous slabs and attaches
+// exchange halos of width h. Every interior slab must be at least h
+// wide (a rank only talks to its immediate neighbours).
+func Slabs(nx, nranks, h int) ([]Partition, error) {
+	if nranks < 1 {
+		return nil, fmt.Errorf("dist: nranks=%d", nranks)
+	}
+	if nx/nranks < h && nranks > 1 {
+		return nil, fmt.Errorf("dist: slab width %d < exchange halo %d; use fewer ranks or smaller blocks", nx/nranks, h)
+	}
+	parts := make([]Partition, nranks)
+	for r := 0; r < nranks; r++ {
+		x0 := r * nx / nranks
+		x1 := (r + 1) * nx / nranks
+		parts[r] = Partition{
+			X0:    x0,
+			X1:    x1,
+			ExtLo: min(h, x0),
+			ExtHi: min(h, nx-x1),
+		}
+	}
+	return parts, nil
+}
+
+// Rank executes one share of a distributed 2D tessellation run.
+type Rank struct {
+	ID, NRanks int
+	tr         Transport
+	part       Partition
+	cfg        *core.Config // global configuration
+	spec       *stencil.Spec
+	pool       *par.Pool
+	local      *grid.Grid2D // interior = [X0-ExtLo, X1+ExtHi) x NY
+	h          int          // exchange-halo width
+	xbase      int          // global x of local interior column 0
+	// Exchange staging buffer: both parity buffers of an h-wide strip.
+	strip []float64
+	// Stats.
+	MessagesSent int
+	FloatsSent   int64
+}
+
+// ExchangeHalo returns the strip width the scheme needs: a block
+// intersecting the territory extends at most Big-1 columns beyond it
+// and reads slope further.
+func ExchangeHalo(cfg *core.Config) int { return cfg.Big[0] + cfg.Slopes[0] }
+
+// NewRank prepares rank id of nranks for the global configuration and
+// stencil. workers sets the per-rank pool size.
+func NewRank(id, nranks int, tr Transport, cfg *core.Config, spec *stencil.Spec, workers int) (*Rank, error) {
+	if spec.Dims != 2 || spec.K2 == nil {
+		return nil, fmt.Errorf("dist: %s is not a 2D kernel (distributed execution is implemented for 2D)", spec.Name)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := ExchangeHalo(cfg)
+	parts, err := Slabs(cfg.N[0], nranks, h)
+	if err != nil {
+		return nil, err
+	}
+	p := parts[id]
+	r := &Rank{
+		ID: id, NRanks: nranks,
+		tr:    tr,
+		part:  p,
+		cfg:   cfg,
+		spec:  spec,
+		pool:  par.NewPool(workers),
+		h:     h,
+		xbase: p.X0 - p.ExtLo,
+	}
+	ny := cfg.N[1]
+	r.local = grid.NewGrid2D(p.ExtLo+p.Width()+p.ExtHi, ny, spec.Slopes[0], spec.Slopes[1])
+	r.strip = make([]float64, 2*h*ny)
+	return r, nil
+}
+
+// Close releases the rank's worker pool.
+func (r *Rank) Close() { r.pool.Close() }
+
+// Partition returns the rank's share.
+func (r *Rank) Partition() Partition { return r.part }
+
+// Scatter loads this rank's slab (territory + exchange halos + the
+// global constant boundary) from a full copy of the initial grid. In a
+// real deployment each rank would construct its slab directly; Scatter
+// exists for tests and examples that hold the global state anyway.
+func (r *Rank) Scatter(global *grid.Grid2D) error {
+	if global.NX != r.cfg.N[0] || global.NY != r.cfg.N[1] {
+		return fmt.Errorf("dist: global grid %dx%d != config %v", global.NX, global.NY, r.cfg.N)
+	}
+	lg := r.local
+	for xl := -lg.HX; xl < lg.NX+lg.HX; xl++ {
+		for y := -lg.HY; y < lg.NY+lg.HY; y++ {
+			gx := r.xbase + xl
+			// Outside the global grid (possible only at domain ends,
+			// where ext is clipped): copy the global halo value.
+			if gx < -global.HX {
+				gx = -global.HX
+			}
+			if gx >= global.NX+global.HX {
+				gx = global.NX + global.HX - 1
+			}
+			i := lg.Idx(xl, y)
+			j := global.Idx(gx, y)
+			lg.Buf[0][i] = global.Buf[0][j]
+			lg.Buf[1][i] = global.Buf[1][j]
+		}
+	}
+	lg.Step = global.Step
+	return nil
+}
+
+// Territory copies the rank's owned values (current buffer) into dst,
+// a full-size global grid; used to gather results.
+func (r *Rank) Territory(dst *grid.Grid2D) {
+	for x := r.part.X0; x < r.part.X1; x++ {
+		for y := 0; y < r.cfg.N[1]; y++ {
+			dst.Buf[dst.Step&1][dst.Idx(x, y)] = r.local.Buf[r.local.Step&1][r.local.Idx(x-r.xbase, y)]
+		}
+	}
+}
+
+// Run advances the rank's slab by steps time steps. All ranks must call
+// Run with the same arguments; the call blocks on neighbour exchanges.
+func (r *Rank) Run(steps int) error {
+	regions := r.cfg.Regions(steps)
+	for _, reg := range regions {
+		if err := r.exchange(); err != nil {
+			return err
+		}
+		reg := reg
+		// Blocks whose maximal x extent intersects the territory. The
+		// glued-in-x blocks sit half a lattice period to the right of
+		// their tile origin.
+		var mine []int
+		for bi := range reg.Blocks {
+			b := &reg.Blocks[bi]
+			xlo := b.Origin[0]
+			if !reg.Diamond && b.Glued&1 != 0 {
+				xlo += r.cfg.Spacing(0) / 2
+			}
+			if xlo < r.part.X1 && xlo+r.cfg.Big[0] > r.part.X0 {
+				mine = append(mine, bi)
+			}
+		}
+		r.pool.For(len(mine), func(i int) {
+			b := &reg.Blocks[mine[i]]
+			for t := reg.T0; t < reg.T1; t++ {
+				r.runBox(b, &reg, t)
+			}
+		})
+	}
+	r.local.Step += steps
+	return nil
+}
+
+// runBox executes one block time slice on the local slab.
+func (r *Rank) runBox(b *core.Block, reg *core.Region, t int) {
+	var lo, hi [2]int
+	if !r.cfg.ClippedBounds(reg, b, t, lo[:], hi[:]) {
+		return
+	}
+	lg := r.local
+	dst, src := lg.Buf[(t+1)&1], lg.Buf[t&1]
+	n := hi[1] - lo[1]
+	for x := lo[0]; x < hi[0]; x++ {
+		r.spec.K2(dst, src, lg.Idx(x-r.xbase, lo[1]), n, lg.SY)
+	}
+}
+
+// exchange swaps h-wide strips of both parity buffers with both
+// neighbours, using even/odd pairwise ordering to avoid deadlock on
+// rendezvous transports.
+func (r *Rank) exchange() error {
+	if r.NRanks == 1 {
+		return nil
+	}
+	left, right := r.ID-1, r.ID+1
+	if r.ID%2 == 0 {
+		if right < r.NRanks {
+			if err := r.swap(right, true); err != nil {
+				return err
+			}
+		}
+		if left >= 0 {
+			if err := r.swap(left, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if left >= 0 {
+		if err := r.swap(left, false); err != nil {
+			return err
+		}
+	}
+	if right < r.NRanks {
+		if err := r.swap(right, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// swap exchanges strips with one neighbour: send our territory edge,
+// receive into our exchange halo. Even ranks send first; odd ranks
+// receive first (the caller's ordering makes the pair compatible).
+func (r *Rank) swap(peer int, rightSide bool) error {
+	sendFirst := r.ID%2 == 0
+	if sendFirst {
+		if err := r.sendStrip(peer, rightSide); err != nil {
+			return err
+		}
+		return r.recvStrip(peer, rightSide)
+	}
+	if err := r.recvStrip(peer, rightSide); err != nil {
+		return err
+	}
+	return r.sendStrip(peer, rightSide)
+}
+
+// sendStrip packs the h territory columns adjacent to the boundary
+// (both parity buffers) and sends them.
+func (r *Rank) sendStrip(peer int, rightSide bool) error {
+	gx0 := r.part.X0 // left edge strip [X0, X0+h)
+	if rightSide {
+		gx0 = r.part.X1 - r.h // right edge strip [X1-h, X1)
+	}
+	r.pack(gx0)
+	r.MessagesSent++
+	r.FloatsSent += int64(len(r.strip))
+	return r.tr.Send(peer, r.strip)
+}
+
+// recvStrip receives the neighbour's strip into the exchange halo.
+func (r *Rank) recvStrip(peer int, rightSide bool) error {
+	if err := r.tr.Recv(peer, r.strip); err != nil {
+		return err
+	}
+	gx0 := r.part.X0 - r.h // halo below territory
+	if rightSide {
+		gx0 = r.part.X1 // halo above territory
+	}
+	r.unpack(gx0)
+	return nil
+}
+
+func (r *Rank) pack(gx0 int) {
+	lg := r.local
+	ny := lg.NY
+	k := 0
+	for p := 0; p < 2; p++ {
+		for x := gx0; x < gx0+r.h; x++ {
+			row := lg.Idx(x-r.xbase, 0)
+			copy(r.strip[k:k+ny], lg.Buf[p][row:row+ny])
+			k += ny
+		}
+	}
+}
+
+func (r *Rank) unpack(gx0 int) {
+	lg := r.local
+	ny := lg.NY
+	k := 0
+	for p := 0; p < 2; p++ {
+		for x := gx0; x < gx0+r.h; x++ {
+			row := lg.Idx(x-r.xbase, 0)
+			copy(lg.Buf[p][row:row+ny], r.strip[k:k+ny])
+			k += ny
+		}
+	}
+}

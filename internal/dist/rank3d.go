@@ -1,0 +1,220 @@
+package dist
+
+import (
+	"fmt"
+
+	"tessellate/internal/core"
+	"tessellate/internal/grid"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+)
+
+// Rank3D executes one share of a distributed 3D tessellation run,
+// slab-decomposed along x exactly like Rank; strips are y-z planes.
+type Rank3D struct {
+	ID, NRanks int
+	tr         Transport
+	part       Partition
+	cfg        *core.Config
+	spec       *stencil.Spec
+	pool       *par.Pool
+	local      *grid.Grid3D
+	h          int
+	xbase      int
+	strip      []float64
+
+	MessagesSent int
+	FloatsSent   int64
+}
+
+// NewRank3D prepares rank id of nranks for the global 3D configuration.
+func NewRank3D(id, nranks int, tr Transport, cfg *core.Config, spec *stencil.Spec, workers int) (*Rank3D, error) {
+	if spec.Dims != 3 || spec.K3 == nil {
+		return nil, fmt.Errorf("dist: %s is not a 3D kernel", spec.Name)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := ExchangeHalo(cfg)
+	parts, err := Slabs(cfg.N[0], nranks, h)
+	if err != nil {
+		return nil, err
+	}
+	p := parts[id]
+	r := &Rank3D{
+		ID: id, NRanks: nranks,
+		tr: tr, part: p, cfg: cfg, spec: spec,
+		pool:  par.NewPool(workers),
+		h:     h,
+		xbase: p.X0 - p.ExtLo,
+	}
+	ny, nz := cfg.N[1], cfg.N[2]
+	r.local = grid.NewGrid3D(p.ExtLo+p.Width()+p.ExtHi, ny, nz, spec.Slopes[0], spec.Slopes[1], spec.Slopes[2])
+	// One plane = the full padded y-z slab footprint, so pack/unpack
+	// can copy whole plane rows including stencil halos.
+	r.strip = make([]float64, 2*h*r.local.SX)
+	return r, nil
+}
+
+// Close releases the rank's worker pool.
+func (r *Rank3D) Close() { r.pool.Close() }
+
+// Partition returns the rank's share.
+func (r *Rank3D) Partition() Partition { return r.part }
+
+// Scatter loads the rank's slab from a full copy of the initial grid.
+func (r *Rank3D) Scatter(global *grid.Grid3D) error {
+	if global.NX != r.cfg.N[0] || global.NY != r.cfg.N[1] || global.NZ != r.cfg.N[2] {
+		return fmt.Errorf("dist: global grid %dx%dx%d != config %v", global.NX, global.NY, global.NZ, r.cfg.N)
+	}
+	lg := r.local
+	for xl := -lg.HX; xl < lg.NX+lg.HX; xl++ {
+		gx := r.xbase + xl
+		if gx < -global.HX {
+			gx = -global.HX
+		}
+		if gx >= global.NX+global.HX {
+			gx = global.NX + global.HX - 1
+		}
+		for y := -lg.HY; y < lg.NY+lg.HY; y++ {
+			for z := -lg.HZ; z < lg.NZ+lg.HZ; z++ {
+				i := lg.Idx(xl, y, z)
+				j := global.Idx(gx, y, z)
+				lg.Buf[0][i] = global.Buf[0][j]
+				lg.Buf[1][i] = global.Buf[1][j]
+			}
+		}
+	}
+	lg.Step = global.Step
+	return nil
+}
+
+// Territory copies the rank's owned values into a full-size grid.
+func (r *Rank3D) Territory(dst *grid.Grid3D) {
+	for x := r.part.X0; x < r.part.X1; x++ {
+		for y := 0; y < r.cfg.N[1]; y++ {
+			src := r.local.Idx(x-r.xbase, y, 0)
+			d := dst.Idx(x, y, 0)
+			copy(dst.Buf[dst.Step&1][d:d+r.cfg.N[2]], r.local.Buf[r.local.Step&1][src:src+r.cfg.N[2]])
+		}
+	}
+}
+
+// Run advances the rank's slab by steps time steps.
+func (r *Rank3D) Run(steps int) error {
+	for _, reg := range r.cfg.Regions(steps) {
+		if err := r.exchange(); err != nil {
+			return err
+		}
+		reg := reg
+		var mine []int
+		for bi := range reg.Blocks {
+			b := &reg.Blocks[bi]
+			xlo := b.Origin[0]
+			if !reg.Diamond && b.Glued&1 != 0 {
+				xlo += r.cfg.Spacing(0) / 2
+			}
+			if xlo < r.part.X1 && xlo+r.cfg.Big[0] > r.part.X0 {
+				mine = append(mine, bi)
+			}
+		}
+		r.pool.For(len(mine), func(i int) {
+			b := &reg.Blocks[mine[i]]
+			var lo, hi [3]int
+			lg := r.local
+			for t := reg.T0; t < reg.T1; t++ {
+				if !r.cfg.ClippedBounds(&reg, b, t, lo[:], hi[:]) {
+					continue
+				}
+				dst, src := lg.Buf[(t+1)&1], lg.Buf[t&1]
+				n := hi[2] - lo[2]
+				for x := lo[0]; x < hi[0]; x++ {
+					for y := lo[1]; y < hi[1]; y++ {
+						r.spec.K3(dst, src, lg.Idx(x-r.xbase, y, lo[2]), n, lg.SY, lg.SX)
+					}
+				}
+			}
+		})
+	}
+	r.local.Step += steps
+	return nil
+}
+
+func (r *Rank3D) exchange() error {
+	if r.NRanks == 1 {
+		return nil
+	}
+	left, right := r.ID-1, r.ID+1
+	order := []struct {
+		peer      int
+		rightSide bool
+	}{{right, true}, {left, false}}
+	if r.ID%2 == 1 {
+		order[0], order[1] = order[1], order[0]
+	}
+	for _, o := range order {
+		if o.peer < 0 || o.peer >= r.NRanks {
+			continue
+		}
+		if err := r.swap(o.peer, o.rightSide); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Rank3D) swap(peer int, rightSide bool) error {
+	if r.ID%2 == 0 {
+		if err := r.sendStrip(peer, rightSide); err != nil {
+			return err
+		}
+		return r.recvStrip(peer, rightSide)
+	}
+	if err := r.recvStrip(peer, rightSide); err != nil {
+		return err
+	}
+	return r.sendStrip(peer, rightSide)
+}
+
+func (r *Rank3D) sendStrip(peer int, rightSide bool) error {
+	gx0 := r.part.X0
+	if rightSide {
+		gx0 = r.part.X1 - r.h
+	}
+	r.copyStrip(gx0, true)
+	r.MessagesSent++
+	r.FloatsSent += int64(len(r.strip))
+	return r.tr.Send(peer, r.strip)
+}
+
+func (r *Rank3D) recvStrip(peer int, rightSide bool) error {
+	if err := r.tr.Recv(peer, r.strip); err != nil {
+		return err
+	}
+	gx0 := r.part.X0 - r.h
+	if rightSide {
+		gx0 = r.part.X1
+	}
+	r.copyStrip(gx0, false)
+	return nil
+}
+
+// copyStrip moves h whole x-planes (both parity buffers) between the
+// local grid and the staging buffer; toStrip selects the direction.
+func (r *Rank3D) copyStrip(gx0 int, toStrip bool) {
+	lg := r.local
+	planeLen := lg.SX
+	k := 0
+	for p := 0; p < 2; p++ {
+		for x := gx0; x < gx0+r.h; x++ {
+			// Plane base including y/z halos.
+			base := lg.Idx(x-r.xbase, -lg.HY, -lg.HZ)
+			if toStrip {
+				copy(r.strip[k:k+planeLen], lg.Buf[p][base:base+planeLen])
+			} else {
+				copy(lg.Buf[p][base:base+planeLen], r.strip[k:k+planeLen])
+			}
+			k += planeLen
+		}
+	}
+}

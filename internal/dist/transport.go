@@ -1,0 +1,243 @@
+// Package dist implements distributed-memory execution of the
+// tessellation scheme, the capability the paper attributes to it in
+// §4.1: "the clear tessellation scheme also enables us to generate a
+// simple data/computation distribution and an efficient data
+// communication plan".
+//
+// The domain is decomposed into slabs along the outermost dimension.
+// Each rank owns a territory plus an exchange halo of width
+// H = Big + slope; once per parallel region — i.e. d times per BT time
+// steps instead of once per step — neighbouring ranks swap H-wide
+// strips of both time-parity buffers, then every rank executes all
+// blocks of the region that intersect its territory (boundary-
+// straddling blocks are computed redundantly on both sides, which the
+// region-independence property makes safe; see DESIGN.md). Outputs are
+// bitwise identical to a single-rank run.
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// Transport moves float64 payloads between ranks. Send and Recv match
+// in order per (sender, receiver) pair; implementations must allow the
+// pairwise even/odd exchange pattern used by Exchange (i.e. modest
+// buffering or full duplexity).
+type Transport interface {
+	// Send transmits data to peer. The slice may be reused after Send
+	// returns.
+	Send(peer int, data []float64) error
+	// Recv fills buf with the next message from peer; the message
+	// length must equal len(buf).
+	Recv(peer int, buf []float64) error
+}
+
+// LocalCluster returns in-process transports for n ranks, connected by
+// buffered channels. It is the test and single-process substrate.
+func LocalCluster(n int) []Transport {
+	chans := make([][]chan []float64, n)
+	for i := range chans {
+		chans[i] = make([]chan []float64, n)
+		for j := range chans[i] {
+			chans[i][j] = make(chan []float64, 8)
+		}
+	}
+	ts := make([]Transport, n)
+	for i := 0; i < n; i++ {
+		ts[i] = &chanTransport{id: i, chans: chans}
+	}
+	return ts
+}
+
+// chanTransport: chans[src][dst] carries messages src -> dst.
+type chanTransport struct {
+	id    int
+	chans [][]chan []float64
+}
+
+func (t *chanTransport) Send(peer int, data []float64) error {
+	if peer < 0 || peer >= len(t.chans) {
+		return fmt.Errorf("dist: send to invalid rank %d", peer)
+	}
+	msg := make([]float64, len(data))
+	copy(msg, data)
+	t.chans[t.id][peer] <- msg
+	return nil
+}
+
+func (t *chanTransport) Recv(peer int, buf []float64) error {
+	if peer < 0 || peer >= len(t.chans) {
+		return fmt.Errorf("dist: recv from invalid rank %d", peer)
+	}
+	msg := <-t.chans[peer][t.id]
+	if len(msg) != len(buf) {
+		return fmt.Errorf("dist: rank %d received %d floats from %d, want %d", t.id, len(msg), peer, len(buf))
+	}
+	copy(buf, msg)
+	return nil
+}
+
+// TCPTransport connects ranks over TCP with length-prefixed binary
+// frames. Connections are established lazily and cached per peer; each
+// pair uses two simplex connections (one per direction), so
+// simultaneous exchanges cannot deadlock.
+type TCPTransport struct {
+	id    int
+	addrs []string
+	ln    net.Listener
+
+	mu   sync.Mutex
+	out  map[int]net.Conn // this rank -> peer
+	in   map[int]net.Conn // peer -> this rank
+	inCh map[int]chan net.Conn
+}
+
+// NewTCPTransport creates the transport for rank id listening on
+// addrs[id]; addrs lists every rank's listen address. Close releases
+// the listener and connections.
+func NewTCPTransport(id int, addrs []string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("dist: rank %d listen: %w", id, err)
+	}
+	t := &TCPTransport{
+		id:    id,
+		addrs: addrs,
+		ln:    ln,
+		out:   map[int]net.Conn{},
+		in:    map[int]net.Conn{},
+		inCh:  map[int]chan net.Conn{},
+	}
+	for p := range addrs {
+		if p != id {
+			t.inCh[p] = make(chan net.Conn, 1)
+		}
+	}
+	go t.accept()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address (useful with
+// ":0" style addrs).
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// accept routes inbound connections by the peer-id handshake byte.
+func (t *TCPTransport) accept() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		var hdr [8]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			conn.Close()
+			continue
+		}
+		peer := int(binary.LittleEndian.Uint64(hdr[:]))
+		t.mu.Lock()
+		ch, ok := t.inCh[peer]
+		t.mu.Unlock()
+		if !ok {
+			conn.Close()
+			continue
+		}
+		ch <- conn
+	}
+}
+
+func (t *TCPTransport) outConn(peer int) (net.Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.out[peer]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", t.addrs[peer])
+	if err != nil {
+		return nil, fmt.Errorf("dist: rank %d dial %d: %w", t.id, peer, err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(t.id))
+	if _, err := c.Write(hdr[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	t.out[peer] = c
+	return c, nil
+}
+
+func (t *TCPTransport) inConn(peer int) (net.Conn, error) {
+	t.mu.Lock()
+	if c, ok := t.in[peer]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	ch := t.inCh[peer]
+	t.mu.Unlock()
+	if ch == nil {
+		return nil, fmt.Errorf("dist: rank %d has no channel for peer %d", t.id, peer)
+	}
+	c := <-ch
+	t.mu.Lock()
+	t.in[peer] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+// Send implements Transport with an 8-byte length prefix (float count)
+// followed by little-endian IEEE-754 payloads.
+func (t *TCPTransport) Send(peer int, data []float64) error {
+	c, err := t.outConn(peer)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+8*len(data))
+	binary.LittleEndian.PutUint64(buf[:8], uint64(len(data)))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(v))
+	}
+	_, err = c.Write(buf)
+	return err
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(peer int, out []float64) error {
+	c, err := t.inConn(peer)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return err
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[:]))
+	if n != len(out) {
+		return fmt.Errorf("dist: rank %d received %d floats from %d, want %d", t.id, n, peer, len(out))
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+// Close shuts down the listener and all connections.
+func (t *TCPTransport) Close() error {
+	t.ln.Close()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range t.out {
+		c.Close()
+	}
+	for _, c := range t.in {
+		c.Close()
+	}
+	return nil
+}

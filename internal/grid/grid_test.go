@@ -1,0 +1,190 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGrid1DLayout(t *testing.T) {
+	g := NewGrid1D(10, 2)
+	if len(g.Buf[0]) != 14 || len(g.Buf[1]) != 14 {
+		t.Fatalf("buffer length = %d, want 14", len(g.Buf[0]))
+	}
+	g.Set(0, 1.5)
+	g.Set(9, 2.5)
+	if g.Buf[0][2] != 1.5 || g.Buf[0][11] != 2.5 {
+		t.Fatal("Set placed values at wrong flat positions")
+	}
+	if g.At(0) != 1.5 || g.At(9) != 2.5 {
+		t.Fatal("At read back wrong values")
+	}
+}
+
+func TestGrid1DBoundary(t *testing.T) {
+	g := NewGrid1D(4, 3)
+	g.SetBoundary(7)
+	for i := 0; i < 3; i++ {
+		for b := 0; b < 2; b++ {
+			if g.Buf[b][i] != 7 || g.Buf[b][len(g.Buf[b])-1-i] != 7 {
+				t.Fatalf("halo cell %d buffer %d not set", i, b)
+			}
+		}
+	}
+	if g.Buf[0][3] != 0 {
+		t.Fatal("interior overwritten by SetBoundary")
+	}
+}
+
+func TestGrid2DIdxRowMajor(t *testing.T) {
+	g := NewGrid2D(3, 5, 1, 2)
+	// y must be unit-stride.
+	if g.Idx(0, 1)-g.Idx(0, 0) != 1 {
+		t.Fatal("y is not unit-stride")
+	}
+	if g.Idx(1, 0)-g.Idx(0, 0) != g.SY {
+		t.Fatal("x stride != SY")
+	}
+	if g.SY != 5+2*2 {
+		t.Fatalf("SY = %d, want 9", g.SY)
+	}
+}
+
+func TestGrid2DFillAndClone(t *testing.T) {
+	g := NewGrid2D(4, 3, 1, 1)
+	g.Fill(func(x, y int) float64 { return float64(10*x + y) })
+	c := g.Clone()
+	c.Set(2, 1, -1)
+	if g.At(2, 1) != 21 {
+		t.Fatal("Clone aliases original storage")
+	}
+	if c.At(0, 2) != 2 {
+		t.Fatal("Clone did not copy values")
+	}
+}
+
+func TestGrid3DIdx(t *testing.T) {
+	g := NewGrid3D(2, 3, 4, 1, 1, 1)
+	if g.Idx(0, 0, 1)-g.Idx(0, 0, 0) != 1 {
+		t.Fatal("z is not unit-stride")
+	}
+	if g.Idx(0, 1, 0)-g.Idx(0, 0, 0) != g.SY {
+		t.Fatal("y stride != SY")
+	}
+	if g.Idx(1, 0, 0)-g.Idx(0, 0, 0) != g.SX {
+		t.Fatal("x stride != SX")
+	}
+	if g.SY != 6 || g.SX != 5*6 {
+		t.Fatalf("strides SY=%d SX=%d, want 6, 30", g.SY, g.SX)
+	}
+}
+
+func TestGrid3DBoundaryDoesNotTouchInterior(t *testing.T) {
+	g := NewGrid3D(3, 3, 3, 1, 1, 1)
+	g.Fill(func(x, y, z int) float64 { return 1 })
+	g.SetBoundary(9)
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			for z := 0; z < 3; z++ {
+				if g.At(x, y, z) != 1 {
+					t.Fatalf("interior (%d,%d,%d) clobbered", x, y, z)
+				}
+			}
+		}
+	}
+	if g.Buf[0][g.Idx(-1, 0, 0)] != 9 {
+		t.Fatal("halo not set")
+	}
+}
+
+func TestNDGridMatchesGrid3D(t *testing.T) {
+	nd := NewNDGrid([]int{2, 3, 4}, []int{1, 1, 1})
+	g3 := NewGrid3D(2, 3, 4, 1, 1, 1)
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 3; y++ {
+			for z := 0; z < 4; z++ {
+				if nd.Idx([]int{x, y, z}) != g3.Idx(x, y, z) {
+					t.Fatalf("layout mismatch at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestNDGridInteriorAndBounds(t *testing.T) {
+	g := NewNDGrid([]int{4, 4}, []int{1, 2})
+	cases := []struct {
+		c        []int
+		interior bool
+		inBounds bool
+	}{
+		{[]int{0, 0}, true, true},
+		{[]int{3, 3}, true, true},
+		{[]int{-1, 0}, false, true},
+		{[]int{0, -2}, false, true},
+		{[]int{0, -3}, false, false},
+		{[]int{4, 0}, false, true},
+		{[]int{5, 0}, false, false},
+		{[]int{0, 5}, false, true},
+		{[]int{0, 6}, false, false},
+	}
+	for _, tc := range cases {
+		if got := g.Interior(tc.c); got != tc.interior {
+			t.Errorf("Interior(%v) = %v, want %v", tc.c, got, tc.interior)
+		}
+		if got := g.InBounds(tc.c); got != tc.inBounds {
+			t.Errorf("InBounds(%v) = %v, want %v", tc.c, got, tc.inBounds)
+		}
+	}
+}
+
+func TestNDGridFillVisitsEveryPointOnce(t *testing.T) {
+	g := NewNDGrid([]int{3, 2, 2}, []int{1, 1, 1})
+	n := 0
+	g.Fill(func(c []int) float64 { n++; return float64(n) })
+	if n != 3*2*2 {
+		t.Fatalf("Fill visited %d points, want 12", n)
+	}
+}
+
+// Property: Idx is injective over the padded box for random small shapes.
+func TestNDGridIdxInjective(t *testing.T) {
+	f := func(a, b uint8) bool {
+		d0 := int(a%4) + 1
+		d1 := int(b%4) + 1
+		g := NewNDGrid([]int{d0, d1}, []int{1, 1})
+		seen := map[int]bool{}
+		for x := -1; x <= d0; x++ {
+			for y := -1; y <= d1; y++ {
+				i := g.Idx([]int{x, y})
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidShapesPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Grid1D n=0":      func() { NewGrid1D(0, 1) },
+		"Grid1D h<0":      func() { NewGrid1D(4, -1) },
+		"Grid2D ny=0":     func() { NewGrid2D(4, 0, 1, 1) },
+		"Grid3D nz=0":     func() { NewGrid3D(4, 4, 0, 1, 1, 1) },
+		"NDGrid empty":    func() { NewNDGrid(nil, nil) },
+		"NDGrid mismatch": func() { NewNDGrid([]int{2}, []int{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

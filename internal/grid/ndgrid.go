@@ -1,0 +1,110 @@
+package grid
+
+import "fmt"
+
+// NDGrid is a double-buffered grid of arbitrary dimension, used by the
+// generic (formula-driven) tessellation executor and by the property
+// tests that check the paper's lemmas for d > 3. It trades speed for
+// generality; the hot paths use Grid1D/2D/3D instead.
+type NDGrid struct {
+	Dims    []int // interior extent per dimension
+	Halo    []int // halo width per dimension
+	Strides []int // flat stride per dimension (last dim unit-stride)
+	Buf     [2][]float64
+	Step    int
+}
+
+// NewNDGrid allocates an n-dimensional grid; panics on invalid shapes.
+func NewNDGrid(dims, halo []int) *NDGrid {
+	if len(dims) == 0 || len(dims) != len(halo) {
+		panic(fmt.Sprintf("grid: invalid NDGrid shape dims=%v halo=%v", dims, halo))
+	}
+	g := &NDGrid{
+		Dims:    append([]int(nil), dims...),
+		Halo:    append([]int(nil), halo...),
+		Strides: make([]int, len(dims)),
+	}
+	// stride[k] = product of padded extents of dims k+1..d-1, so the
+	// last dimension is unit-stride.
+	total := 1
+	for k := len(dims) - 1; k >= 0; k-- {
+		if dims[k] <= 0 || halo[k] < 0 {
+			panic(fmt.Sprintf("grid: invalid NDGrid dim %d: n=%d h=%d", k, dims[k], halo[k]))
+		}
+		g.Strides[k] = total
+		total *= dims[k] + 2*halo[k]
+	}
+	g.Buf[0] = make([]float64, total)
+	g.Buf[1] = make([]float64, total)
+	return g
+}
+
+// D returns the number of dimensions.
+func (g *NDGrid) D() int { return len(g.Dims) }
+
+// Idx returns the flat index for interior coordinates c (len(c) == D).
+func (g *NDGrid) Idx(c []int) int {
+	i := 0
+	for k, v := range c {
+		i += (v + g.Halo[k]) * g.Strides[k]
+	}
+	return i
+}
+
+// At returns the current value at interior coordinates c.
+func (g *NDGrid) At(c []int) float64 { return g.Buf[g.Step&1][g.Idx(c)] }
+
+// Set writes v at interior coordinates c in both buffers.
+func (g *NDGrid) Set(c []int, v float64) {
+	i := g.Idx(c)
+	g.Buf[0][i] = v
+	g.Buf[1][i] = v
+}
+
+// Interior reports whether coordinates c lie inside the interior.
+func (g *NDGrid) Interior(c []int) bool {
+	for k, v := range c {
+		if v < 0 || v >= g.Dims[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// InBounds reports whether coordinates c lie inside interior-plus-halo.
+func (g *NDGrid) InBounds(c []int) bool {
+	for k, v := range c {
+		if v < -g.Halo[k] || v >= g.Dims[k]+g.Halo[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every interior point to f(c) in both buffers. The slice
+// passed to f is reused between calls; f must not retain it.
+func (g *NDGrid) Fill(f func(c []int) float64) {
+	c := make([]int, g.D())
+	g.walk(c, 0, f)
+}
+
+func (g *NDGrid) walk(c []int, k int, f func(c []int) float64) {
+	if k == len(c) {
+		g.Set(c, f(c))
+		return
+	}
+	for v := 0; v < g.Dims[k]; v++ {
+		c[k] = v
+		g.walk(c, k+1, f)
+	}
+	c[k] = 0
+}
+
+// Clone returns a deep copy.
+func (g *NDGrid) Clone() *NDGrid {
+	c := NewNDGrid(g.Dims, g.Halo)
+	copy(c.Buf[0], g.Buf[0])
+	copy(c.Buf[1], g.Buf[1])
+	c.Step = g.Step
+	return c
+}

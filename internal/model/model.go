@@ -1,0 +1,134 @@
+// Package model provides closed-form DRAM-traffic predictions for the
+// tiling schemes and an analytic tile-size selector, in the tradition
+// the paper cites for time skewing (Andonov et al.'s optimal tile-size
+// models). The predictions are validated against the cache simulator
+// in the tests; the selector complements the measurement-driven
+// internal/autotune with a zero-measurement starting point.
+//
+// Model (write-allocate, write-back cache of line size L words):
+//
+//   - Naive sweep: per point and step, the source line is fetched once
+//     (neighbour reuse hits), the destination line is fetched
+//     (write-allocate) and written back: 3 line-transfers per L points
+//     = 24 bytes/update, plus the halo fraction.
+//
+//   - Tessellation (merged): each of the d regions per phase streams
+//     every block's space-time footprint through the cache once —
+//     fetch both parity buffers, write both back — provided a block's
+//     footprint fits in cache. Per update:
+//
+//     bytes ≈ d * 32 * overhead / BT
+//
+//     where overhead accounts for the block halo and cache-line
+//     granularity in the unit-stride dimension.
+//
+// The BT in the denominator is the whole story of temporal tiling:
+// traffic falls linearly with the time-tile height until the block
+// footprint outgrows the cache.
+package model
+
+import (
+	"fmt"
+
+	"tessellate/internal/core"
+)
+
+// BytesPerWord is the float64 size.
+const BytesPerWord = 8
+
+// NaiveTraffic predicts DRAM bytes per point update for the untiled
+// sweep: one source fetch, one destination fill, one writeback.
+func NaiveTraffic() float64 { return 3 * BytesPerWord }
+
+// TessellationTraffic predicts DRAM bytes per point update for the
+// merged tessellation with the given configuration, assuming block
+// footprints fit the cache (see FootprintBytes) and the domain is much
+// larger than one block.
+func TessellationTraffic(cfg *core.Config, lineBytes int) float64 {
+	d := cfg.Dims()
+	// Halo overhead: each block's fetched footprint exceeds its owned
+	// volume by one slope-width shell. Partial cache lines at block
+	// edges are not charged — adjacent blocks tile contiguously and
+	// consecutive regions retain part of each other's footprint, two
+	// effects that roughly cancel against them (the model mildly
+	// over-predicts; see the tests against the simulator).
+	_ = lineBytes
+	overhead := 1.0
+	for k := 0; k < d; k++ {
+		ext := float64(2 * cfg.Slopes[k])
+		overhead *= (float64(cfg.Big[k]) + ext) / float64(cfg.Big[k])
+	}
+	return float64(d) * 4 * BytesPerWord * overhead / float64(cfg.BT)
+}
+
+// FootprintBytes returns a block's cache footprint: both parity buffers
+// over the block extent plus its read halo.
+func FootprintBytes(cfg *core.Config) int64 {
+	v := int64(1)
+	for k := 0; k < cfg.Dims(); k++ {
+		v *= int64(cfg.Big[k] + 2*cfg.Slopes[k])
+	}
+	return 2 * BytesPerWord * v
+}
+
+// Select proposes a tessellation configuration for the given domain,
+// slopes and cache capacity: the largest uniform Big whose block
+// footprint fits in half the cache (leaving room for two blocks in
+// flight), with BT at its legality limit Big/(2*slope) halved once for
+// the coarsening margin. It is the analytic analogue of
+// autotune.Search.
+func Select(n, slopes []int, cacheBytes int) (core.Config, error) {
+	d := len(n)
+	if d == 0 || len(slopes) != d {
+		return core.Config{}, fmt.Errorf("model: bad shape n=%v slopes=%v", n, slopes)
+	}
+	big := 4
+	for {
+		cand := big + 4
+		v := int64(1)
+		for k := 0; k < d; k++ {
+			v *= int64(cand + 2*slopes[k])
+		}
+		if 2*BytesPerWord*v > int64(cacheBytes)/2 {
+			break
+		}
+		tooWide := false
+		for k := 0; k < d; k++ {
+			if cand*slopes[k] > n[k]/2 {
+				tooWide = true
+				break
+			}
+		}
+		if tooWide {
+			break
+		}
+		big = cand
+	}
+	maxSlope := 1
+	for _, s := range slopes {
+		if s > maxSlope {
+			maxSlope = s
+		}
+	}
+	bt := big / (4 * maxSlope)
+	if bt < 1 {
+		bt = 1
+	}
+	cfg := core.Config{
+		N:      append([]int(nil), n...),
+		Slopes: append([]int(nil), slopes...),
+		BT:     bt,
+		Big:    make([]int, d),
+		Merge:  true,
+	}
+	for k := 0; k < d; k++ {
+		cfg.Big[k] = big * slopes[k]
+		if cfg.Big[k] < 2*bt*slopes[k] {
+			cfg.Big[k] = 2 * bt * slopes[k]
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}

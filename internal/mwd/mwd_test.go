@@ -1,0 +1,86 @@
+package mwd
+
+import (
+	"math/rand"
+	"testing"
+
+	"tessellate/internal/grid"
+	"tessellate/internal/naive"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+	"tessellate/internal/verify"
+)
+
+func TestRun2DMatchesNaive(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	cfg := Config{BX: 12, BT: 3}
+	g := grid.NewGrid2D(29, 31, 1, 1)
+	rng := rand.New(rand.NewSource(21))
+	g.Fill(func(x, y int) float64 { return rng.Float64() })
+	ref := g.Clone()
+	if err := Run2D(g, stencil.Heat2D, 9, cfg, pool); err != nil {
+		t.Fatal(err)
+	}
+	naive.Run2D(ref, stencil.Heat2D, 9, nil)
+	if r := verify.Grids2D(g, ref); !r.Equal {
+		t.Fatal(r.Error("mwd-2d"))
+	}
+}
+
+func TestRun3DMatchesNaive(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	for _, s := range []*stencil.Spec{stencil.Heat3D, stencil.Box3D27} {
+		cfg := Config{BX: 8, BT: 2}
+		g := grid.NewGrid3D(15, 14, 12, 1, 1, 1)
+		rng := rand.New(rand.NewSource(22))
+		g.Fill(func(x, y, z int) float64 { return rng.Float64() })
+		ref := g.Clone()
+		if err := Run3D(g, s, 7, cfg, pool); err != nil {
+			t.Fatal(err)
+		}
+		naive.Run3D(ref, s, 7, nil)
+		if r := verify.Grids3D(g, ref); !r.Equal {
+			t.Fatalf("%s: %v", s.Name, r.Error("mwd-3d"))
+		}
+	}
+}
+
+func TestFuzzAgainstNaive(t *testing.T) {
+	pool := par.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(23))
+	iters := 20
+	if testing.Short() {
+		iters = 6
+	}
+	for it := 0; it < iters; it++ {
+		bt := 1 + rng.Intn(4)
+		cfg := Config{BT: bt, BX: 2*bt + rng.Intn(2*bt+4)}
+		nx, ny := 4+rng.Intn(30), 4+rng.Intn(30)
+		steps := 1 + rng.Intn(12)
+		g := grid.NewGrid2D(nx, ny, 1, 1)
+		g.Fill(func(x, y int) float64 { return rng.Float64() })
+		ref := g.Clone()
+		if err := Run2D(g, stencil.Box2D9, steps, cfg, pool); err != nil {
+			t.Fatal(err)
+		}
+		naive.Run2D(ref, stencil.Box2D9, steps, nil)
+		if r := verify.Grids2D(g, ref); !r.Equal {
+			t.Fatalf("iter %d cfg=%+v %dx%d steps=%d: %v", it, cfg, nx, ny, steps, r.Error("fuzz"))
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := (&Config{BX: 2, BT: 2}).Validate(1); err == nil {
+		t.Error("BX < 2*BT*S accepted")
+	}
+	pool := par.NewPool(1)
+	defer pool.Close()
+	g := grid.NewGrid2D(8, 8, 1, 1)
+	if err := Run2D(g, stencil.Heat3D, 2, Config{BX: 4, BT: 1}, pool); err == nil {
+		t.Error("3D kernel accepted by Run2D")
+	}
+}

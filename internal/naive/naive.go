@@ -1,0 +1,196 @@
+// Package naive implements the reference executors: straightforward
+// time-stepped loops (optionally parallel over the outermost spatial
+// dimension) and a rectangular space-tiled variant. Every other scheme
+// in the repository is validated against these bit-for-bit.
+package naive
+
+import (
+	"tessellate/internal/grid"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+)
+
+// Run1D advances g by steps time steps of s using the naive schedule.
+func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, pool *par.Pool) {
+	h := g.H
+	for t := 0; t < steps; t++ {
+		src := g.Buf[g.Step&1]
+		dst := g.Buf[(g.Step+1)&1]
+		if pool == nil || pool.Workers() == 1 {
+			s.K1(dst, src, h, h+g.N)
+		} else {
+			w := pool.Workers()
+			chunk := (g.N + w - 1) / w
+			pool.For(w, func(i int) {
+				lo := h + i*chunk
+				hi := lo + chunk
+				if hi > h+g.N {
+					hi = h + g.N
+				}
+				if lo < hi {
+					s.K1(dst, src, lo, hi)
+				}
+			})
+		}
+		g.Step++
+	}
+}
+
+// Run2D advances g by steps time steps of s, parallelising over rows.
+func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, pool *par.Pool) {
+	for t := 0; t < steps; t++ {
+		src := g.Buf[g.Step&1]
+		dst := g.Buf[(g.Step+1)&1]
+		run := func(x int) {
+			s.K2(dst, src, g.Idx(x, 0), g.NY, g.SY)
+		}
+		if pool == nil {
+			for x := 0; x < g.NX; x++ {
+				run(x)
+			}
+		} else {
+			pool.For(g.NX, run)
+		}
+		g.Step++
+	}
+}
+
+// Run3D advances g by steps time steps of s, parallelising over planes.
+func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, pool *par.Pool) {
+	for t := 0; t < steps; t++ {
+		src := g.Buf[g.Step&1]
+		dst := g.Buf[(g.Step+1)&1]
+		run := func(x int) {
+			for y := 0; y < g.NY; y++ {
+				s.K3(dst, src, g.Idx(x, y, 0), g.NZ, g.SY, g.SX)
+			}
+		}
+		if pool == nil {
+			for x := 0; x < g.NX; x++ {
+				run(x)
+			}
+		} else {
+			pool.For(g.NX, run)
+		}
+		g.Step++
+	}
+}
+
+// SpaceTiled2D is the classic spatial rectangular tiling: each time
+// step is cut into bx-by-by tiles executed in parallel. It reuses data
+// within a step but, unlike temporal tiling, re-streams the whole grid
+// every step — the bandwidth-bound behaviour the paper's introduction
+// describes.
+func SpaceTiled2D(g *grid.Grid2D, s *stencil.Spec, steps, bx, by int, pool *par.Pool) {
+	if bx <= 0 {
+		bx = 64
+	}
+	if by <= 0 {
+		by = 64
+	}
+	ntx := (g.NX + bx - 1) / bx
+	nty := (g.NY + by - 1) / by
+	for t := 0; t < steps; t++ {
+		src := g.Buf[g.Step&1]
+		dst := g.Buf[(g.Step+1)&1]
+		run := func(i int) {
+			tx, ty := i/nty, i%nty
+			x0, y0 := tx*bx, ty*by
+			x1, y1 := min(x0+bx, g.NX), min(y0+by, g.NY)
+			for x := x0; x < x1; x++ {
+				s.K2(dst, src, g.Idx(x, y0), y1-y0, g.SY)
+			}
+		}
+		if pool == nil {
+			for i := 0; i < ntx*nty; i++ {
+				run(i)
+			}
+		} else {
+			pool.For(ntx*nty, run)
+		}
+		g.Step++
+	}
+}
+
+// SpaceTiled3D is the 3D analogue of SpaceTiled2D with the unit-stride
+// dimension left uncut, the convention of all schemes in the paper's
+// evaluation.
+func SpaceTiled3D(g *grid.Grid3D, s *stencil.Spec, steps, bx, by int, pool *par.Pool) {
+	if bx <= 0 {
+		bx = 16
+	}
+	if by <= 0 {
+		by = 16
+	}
+	ntx := (g.NX + bx - 1) / bx
+	nty := (g.NY + by - 1) / by
+	for t := 0; t < steps; t++ {
+		src := g.Buf[g.Step&1]
+		dst := g.Buf[(g.Step+1)&1]
+		run := func(i int) {
+			tx, ty := i/nty, i%nty
+			x0, y0 := tx*bx, ty*by
+			x1, y1 := min(x0+bx, g.NX), min(y0+by, g.NY)
+			for x := x0; x < x1; x++ {
+				for y := y0; y < y1; y++ {
+					s.K3(dst, src, g.Idx(x, y, 0), g.NZ, g.SY, g.SX)
+				}
+			}
+		}
+		if pool == nil {
+			for i := 0; i < ntx*nty; i++ {
+				run(i)
+			}
+		} else {
+			pool.For(ntx*nty, run)
+		}
+		g.Step++
+	}
+}
+
+// RunND advances an n-dimensional grid by steps time steps of the
+// generic stencil gs, with either constant (non-periodic) or periodic
+// boundary handling. It is the slow universal reference used by the
+// formula-driven tessellation executor's tests.
+func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, periodic bool) {
+	flat := gs.FlatOffsets(g.Strides)
+	c := make([]int, g.D())
+	nb := make([]int, g.D())
+	for t := 0; t < steps; t++ {
+		src := g.Buf[g.Step&1]
+		dst := g.Buf[(g.Step+1)&1]
+		var walk func(k int)
+		walk = func(k int) {
+			if k == g.D() {
+				i := g.Idx(c)
+				if periodic {
+					// Gather neighbours with wrap-around.
+					var acc float64
+					for n, off := range gs.Offsets {
+						for j := range nb {
+							v := c[j] + off[j]
+							if v < 0 {
+								v += g.Dims[j]
+							} else if v >= g.Dims[j] {
+								v -= g.Dims[j]
+							}
+							nb[j] = v
+						}
+						acc += gs.Coeffs[n] * src[g.Idx(nb)]
+					}
+					dst[i] = acc
+				} else {
+					gs.Apply(dst, src, i, flat)
+				}
+				return
+			}
+			for v := 0; v < g.Dims[k]; v++ {
+				c[k] = v
+				walk(k + 1)
+			}
+			c[k] = 0
+		}
+		walk(0)
+		g.Step++
+	}
+}

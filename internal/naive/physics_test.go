@@ -1,0 +1,83 @@
+package naive
+
+import (
+	"math"
+	"testing"
+
+	"tessellate/internal/grid"
+	"tessellate/internal/stencil"
+)
+
+// The 1D heat kernel's Fourier eigenmodes decay analytically: for
+// u(x, 0) = sin(2πm x / N) on a periodic domain, one update multiplies
+// the mode by λ = c0 + 2*c1*cos(2πm/N) with c0 = 0.5, c1 = 0.25, so
+// u(x, T) = λ^T sin(2πm x / N). This validates the *physics* of the
+// kernels end to end, independent of scheduling.
+func TestHeat1DAnalyticModeDecay(t *testing.T) {
+	const (
+		n     = 128
+		m     = 3
+		steps = 40
+	)
+	gs := &stencil.Generic{
+		Name: "heat-1d-exact", Dims: 1, Slopes: []int{1},
+		Offsets: [][]int{{-1}, {0}, {1}},
+		Coeffs:  []float64{0.25, 0.5, 0.25},
+	}
+	g := grid.NewNDGrid([]int{n}, []int{1})
+	for x := 0; x < n; x++ {
+		g.Set([]int{x}, math.Sin(2*math.Pi*float64(m*x)/n))
+	}
+	RunND(g, gs, steps, true)
+
+	lambda := 0.5 + 0.5*math.Cos(2*math.Pi*float64(m)/n)
+	amp := math.Pow(lambda, steps)
+	maxErr := 0.0
+	for x := 0; x < n; x++ {
+		want := amp * math.Sin(2*math.Pi*float64(m*x)/n)
+		if e := math.Abs(g.At([]int{x}) - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-12 {
+		t.Fatalf("max deviation from analytic decay %g (λ=%g, λ^T=%g)", maxErr, lambda, amp)
+	}
+}
+
+// The 2D heat kernel decays separable modes by the product of the
+// per-axis symbols: λ = c0 + 2*c1*(cos kx + cos ky) with c0 = 0.5,
+// c1 = 0.125.
+func TestHeat2DAnalyticModeDecay(t *testing.T) {
+	const (
+		n     = 48
+		mx    = 2
+		my    = 5
+		steps = 12
+	)
+	gs := &stencil.Generic{
+		Name: "heat-2d-exact", Dims: 2, Slopes: []int{1, 1},
+		Offsets: [][]int{{0, 0}, {-1, 0}, {1, 0}, {0, -1}, {0, 1}},
+		Coeffs:  []float64{0.5, 0.125, 0.125, 0.125, 0.125},
+	}
+	g := grid.NewNDGrid([]int{n, n}, []int{1, 1})
+	mode := func(x, y int) float64 {
+		return math.Sin(2*math.Pi*float64(mx*x)/n) * math.Sin(2*math.Pi*float64(my*y)/n)
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			g.Set([]int{x, y}, mode(x, y))
+		}
+	}
+	RunND(g, gs, steps, true)
+
+	lambda := 0.5 + 0.25*(math.Cos(2*math.Pi*float64(mx)/n)+math.Cos(2*math.Pi*float64(my)/n))
+	amp := math.Pow(lambda, steps)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			want := amp * mode(x, y)
+			if math.Abs(g.At([]int{x, y})-want) > 1e-12 {
+				t.Fatalf("(%d,%d): got %g want %g", x, y, g.At([]int{x, y}), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The pool's per-region dispatch overhead bounds how small a
+// tessellation stage can profitably be; these benches quantify it.
+
+func BenchmarkPoolForSmall(b *testing.B) {
+	p := NewPool(0)
+	defer p.Close()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.For(16, func(j int) { sink.Add(1) })
+	}
+}
+
+func BenchmarkPoolForLarge(b *testing.B) {
+	p := NewPool(0)
+	defer p.Close()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.For(4096, func(j int) { sink.Add(1) })
+	}
+}
+
+func BenchmarkLimiterPar(b *testing.B) {
+	l := NewLimiter(4)
+	for i := 0; i < b.N; i++ {
+		l.Par(func() {}, func() {})
+	}
+}

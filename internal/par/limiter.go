@@ -1,0 +1,46 @@
+package par
+
+import "sync"
+
+// Limiter bounds the parallelism of recursive divide-and-conquer
+// algorithms (the cache-oblivious trapezoid walker): forks run in new
+// goroutines while tokens are available and inline otherwise, the same
+// discipline a Cilk-style runtime applies.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter returns a limiter allowing up to n-1 extra concurrent
+// forks (so total parallelism is n). n < 2 yields a purely serial
+// limiter.
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{sem: make(chan struct{}, n-1)}
+}
+
+// Par runs all fns and returns when every one of them has completed.
+// Each fn after the first is forked into a goroutine if a token is
+// available, otherwise it runs inline; the first always runs inline.
+func (l *Limiter) Par(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range fns[1:] {
+		select {
+		case l.sem <- struct{}{}:
+			wg.Add(1)
+			go func(fn func()) {
+				defer wg.Done()
+				defer func() { <-l.sem }()
+				fn()
+			}(fn)
+		default:
+			fn()
+		}
+	}
+	fns[0]()
+	wg.Wait()
+}

@@ -1,0 +1,138 @@
+// Package par provides the small parallel runtime used by every stencil
+// scheme in this repository: a reusable worker pool, a chunked
+// parallel-for, and a pipelined wavefront synchronizer.
+//
+// The pool plays the role OpenMP's "parallel for" plays in the paper's
+// reference implementation: all blocks of one tessellation stage are
+// independent, so a stage is exactly one Pool.For call.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size worker pool. A Pool is reused across many For
+// calls so that per-stage parallelism does not pay goroutine startup
+// costs on every synchronization, mirroring a persistent OpenMP team.
+//
+// The zero value is not usable; construct with NewPool.
+type Pool struct {
+	workers int
+	jobs    chan func(worker int)
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// NewPool creates a pool with the given number of workers. If workers
+// is <= 0, runtime.GOMAXPROCS(0) is used. The pool's goroutines run
+// until Close is called.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		jobs:    make(chan func(worker int)),
+	}
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for job := range p.jobs {
+				job(w)
+				p.wg.Done()
+			}
+		}(w)
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close shuts the pool down. It must not be called concurrently with
+// For. Close is idempotent.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.jobs)
+	}
+}
+
+// For executes body(i) for every i in [0, n), distributing iterations
+// over the pool with dynamic chunked self-scheduling, and returns when
+// all iterations have completed. It is the moral equivalent of
+// "#pragma omp parallel for schedule(dynamic, chunk)".
+//
+// The chunk size adapts to n so that small stages do not pay excessive
+// atomic traffic and large stages still balance load.
+func (p *Pool) For(n int, body func(i int)) {
+	p.ForChunked(n, 0, body)
+}
+
+// ForChunked is For with an explicit chunk size; chunk <= 0 selects an
+// automatic size of max(1, n/(8*workers)).
+func (p *Pool) ForChunked(n, chunk int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	// Serial fast path: a single worker (or tiny trip count) should not
+	// bounce through channels at all.
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if chunk <= 0 {
+		chunk = n / (8 * p.workers)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	var next atomic.Int64
+	runners := p.workers
+	if runners > n {
+		runners = n
+	}
+	p.wg.Add(runners)
+	for w := 0; w < runners; w++ {
+		p.jobs <- func(int) {
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					body(i)
+				}
+			}
+		}
+	}
+	p.wg.Wait()
+}
+
+// Run executes fn(w) once for each worker id w in [0, Workers())
+// concurrently and waits for all of them. Unlike For, Run guarantees
+// every id runs exactly once, so callers can pin per-lane state to ids
+// (e.g. the pipelined wavefront baseline). It uses fresh goroutines
+// rather than the job queue: pool workers grab jobs competitively, so
+// the queue cannot guarantee distinct-id coverage.
+func (p *Pool) Run(fn func(worker int)) {
+	if p.workers == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}

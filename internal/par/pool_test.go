@@ -1,0 +1,99 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForCoversAllIterations(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+			seen := make([]atomic.Int32, n)
+			p.For(n, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: iteration %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolForChunkedExplicitChunk(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	p.ForChunked(1000, 7, func(i int) { sum.Add(int64(i)) })
+	if got, want := sum.Load(), int64(999*1000/2); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", p.Workers())
+	}
+}
+
+func TestPoolRunVisitsEveryWorker(t *testing.T) {
+	p := NewPool(5)
+	defer p.Close()
+	seen := make([]atomic.Int32, 5)
+	p.Run(func(w int) { seen[w].Add(1) })
+	for w := range seen {
+		if seen[w].Load() != 1 {
+			t.Fatalf("worker %d ran %d times, want 1", w, seen[w].Load())
+		}
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestPoolReuseAcrossManyStages(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var total atomic.Int64
+	for stage := 0; stage < 50; stage++ {
+		p.For(64, func(i int) { total.Add(1) })
+	}
+	if got := total.Load(); got != 50*64 {
+		t.Fatalf("total = %d, want %d", got, 50*64)
+	}
+}
+
+func TestWavefrontOrdering(t *testing.T) {
+	const lanes, cols = 4, 16
+	w := NewWavefront(lanes)
+	p := NewPool(lanes)
+	defer p.Close()
+
+	var maxSeen [lanes]atomic.Int64 // progress snapshot of predecessor at each step
+	var violated atomic.Bool
+	p.Run(func(lane int) {
+		if lane >= lanes {
+			return
+		}
+		for c := 0; c < cols; c++ {
+			w.Wait(lane, c)
+			if lane > 0 {
+				// Predecessor must have completed column c already.
+				if got := maxSeen[lane-1].Load(); got < int64(c)+1 {
+					violated.Store(true)
+				}
+			}
+			maxSeen[lane].Store(int64(c) + 1)
+			w.Done(lane, c)
+		}
+	})
+	if violated.Load() {
+		t.Fatal("wavefront dependence violated")
+	}
+}

@@ -1,0 +1,53 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Wavefront coordinates pipelined execution of a 2D dependence grid of
+// tasks: task (i, j) may run only after (i-1, j) and (i, j-1) have
+// completed. It is the synchronization substrate of the time-skewed
+// parallelepiped baseline, whose tiles form exactly such a pipeline.
+//
+// Lanes are rows (i); within a lane, tasks run in order, so only the
+// cross-lane dependence needs tracking: lane i may process column j
+// once lane i-1 has finished column j.
+type Wavefront struct {
+	progress []atomic.Int64 // progress[i] = number of columns lane i has completed
+	cond     *sync.Cond
+}
+
+// NewWavefront creates a synchronizer for the given number of lanes.
+func NewWavefront(lanes int) *Wavefront {
+	return &Wavefront{
+		progress: make([]atomic.Int64, lanes),
+		cond:     sync.NewCond(&sync.Mutex{}),
+	}
+}
+
+// Wait blocks until lane's predecessor (lane-1) has completed at least
+// col+1 columns. Lane 0 never blocks.
+func (w *Wavefront) Wait(lane, col int) {
+	if lane == 0 {
+		return
+	}
+	p := &w.progress[lane-1]
+	if p.Load() > int64(col) {
+		return
+	}
+	w.cond.L.Lock()
+	for p.Load() <= int64(col) {
+		w.cond.Wait()
+	}
+	w.cond.L.Unlock()
+}
+
+// Done records that lane has completed column col (columns must be
+// completed in order) and wakes any waiting successors.
+func (w *Wavefront) Done(lane, col int) {
+	w.progress[lane].Store(int64(col) + 1)
+	w.cond.L.Lock()
+	w.cond.Broadcast()
+	w.cond.L.Unlock()
+}

@@ -1,0 +1,242 @@
+// Package skew implements classic time-skewed (parallelepiped) tiling
+// [Wonnacott; Song & Li]: space is skewed by the dependence slope so
+// that rectangular space-time tiles become legal, and tiles execute in
+// a pipelined wavefront. This is the "limited concurrency, pipelined
+// start-up" baseline the paper contrasts with concurrent-start schemes.
+//
+// Geometry: with skewed position p_k = x_k + t*S_k, a tile is
+// (J, I_0..I_{d-1}): time band t in [J*BT, (J+1)*BT), skewed extent
+// p_k in [I_k*BX_k, (I_k+1)*BX_k). Tile dependences point to smaller
+// (J, I) in every coordinate, so tiles on the same wavefront
+// w = J + sum(I_k) are independent and safe under double buffering
+// (atomic tiles; see the liveness argument in DESIGN.md).
+package skew
+
+import (
+	"fmt"
+
+	"tessellate/internal/grid"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+)
+
+// Config parametrises the skewed tiling.
+type Config struct {
+	BT int   // time band height
+	BX []int // skewed spatial tile extent per dimension
+}
+
+// Validate checks the configuration for a d-dimensional run.
+func (c *Config) Validate(d int) error {
+	if c.BT < 1 {
+		return fmt.Errorf("skew: BT=%d, must be >= 1", c.BT)
+	}
+	if len(c.BX) != d {
+		return fmt.Errorf("skew: BX rank %d != %d", len(c.BX), d)
+	}
+	for k, b := range c.BX {
+		if b < 1 {
+			return fmt.Errorf("skew: BX[%d]=%d, must be >= 1", k, b)
+		}
+	}
+	return nil
+}
+
+// tileGrid describes the tile index space of one run.
+type tileGrid struct {
+	cfg    Config
+	n      []int // domain extents
+	slopes []int
+	steps  int
+	bands  int
+	nt     []int // tiles per spatial dimension
+}
+
+func newTileGrid(cfg Config, n, slopes []int, steps int) tileGrid {
+	tg := tileGrid{cfg: cfg, n: n, slopes: slopes, steps: steps}
+	tg.bands = (steps + cfg.BT - 1) / cfg.BT
+	tg.nt = make([]int, len(n))
+	for k := range n {
+		// Skewed positions span [0, N + steps*S).
+		tg.nt[k] = (n[k] + steps*slopes[k] + cfg.BX[k] - 1) / cfg.BX[k]
+	}
+	return tg
+}
+
+// bounds returns the unskewed spatial interval of tile index i in
+// dimension k at global time t, clipped to the domain; ok reports
+// non-emptiness.
+func (tg *tileGrid) bounds(k, i, t int) (lo, hi int, ok bool) {
+	lo = i*tg.cfg.BX[k] - t*tg.slopes[k]
+	hi = lo + tg.cfg.BX[k]
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > tg.n[k] {
+		hi = tg.n[k]
+	}
+	return lo, hi, lo < hi
+}
+
+// Run1D advances a 1D grid by steps time steps.
+func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg Config, pool *par.Pool) error {
+	if s.Dims != 1 || s.K1 == nil {
+		return fmt.Errorf("skew: %s is not a 1D kernel", s.Name)
+	}
+	if err := cfg.Validate(1); err != nil {
+		return err
+	}
+	tg := newTileGrid(cfg, []int{g.N}, s.Slopes, steps)
+	h := g.H
+	forEachWavefront(pool, tg.bands, tg.nt, func(j int, idx []int) {
+		t0 := j * cfg.BT
+		t1 := min(t0+cfg.BT, steps)
+		for t := t0; t < t1; t++ {
+			if lo, hi, ok := tg.bounds(0, idx[0], t); ok {
+				s.K1(g.Buf[(t+1)&1], g.Buf[t&1], lo+h, hi+h)
+			}
+		}
+	})
+	g.Step += steps
+	return nil
+}
+
+// Run2D advances a 2D grid by steps time steps.
+func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg Config, pool *par.Pool) error {
+	if s.Dims != 2 || s.K2 == nil {
+		return fmt.Errorf("skew: %s is not a 2D kernel", s.Name)
+	}
+	if err := cfg.Validate(2); err != nil {
+		return err
+	}
+	tg := newTileGrid(cfg, []int{g.NX, g.NY}, s.Slopes, steps)
+	forEachWavefront(pool, tg.bands, tg.nt, func(j int, idx []int) {
+		t0 := j * cfg.BT
+		t1 := min(t0+cfg.BT, steps)
+		for t := t0; t < t1; t++ {
+			xlo, xhi, ok := tg.bounds(0, idx[0], t)
+			if !ok {
+				continue
+			}
+			ylo, yhi, ok := tg.bounds(1, idx[1], t)
+			if !ok {
+				continue
+			}
+			dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
+			for x := xlo; x < xhi; x++ {
+				s.K2(dst, src, g.Idx(x, ylo), yhi-ylo, g.SY)
+			}
+		}
+	})
+	g.Step += steps
+	return nil
+}
+
+// Run3D advances a 3D grid by steps time steps.
+func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg Config, pool *par.Pool) error {
+	if s.Dims != 3 || s.K3 == nil {
+		return fmt.Errorf("skew: %s is not a 3D kernel", s.Name)
+	}
+	if err := cfg.Validate(3); err != nil {
+		return err
+	}
+	tg := newTileGrid(cfg, []int{g.NX, g.NY, g.NZ}, s.Slopes, steps)
+	forEachWavefront(pool, tg.bands, tg.nt, func(j int, idx []int) {
+		t0 := j * cfg.BT
+		t1 := min(t0+cfg.BT, steps)
+		for t := t0; t < t1; t++ {
+			xlo, xhi, ok := tg.bounds(0, idx[0], t)
+			if !ok {
+				continue
+			}
+			ylo, yhi, ok := tg.bounds(1, idx[1], t)
+			if !ok {
+				continue
+			}
+			zlo, zhi, ok := tg.bounds(2, idx[2], t)
+			if !ok {
+				continue
+			}
+			dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
+			for x := xlo; x < xhi; x++ {
+				for y := ylo; y < yhi; y++ {
+					s.K3(dst, src, g.Idx(x, y, zlo), zhi-zlo, g.SY, g.SX)
+				}
+			}
+		}
+	})
+	g.Step += steps
+	return nil
+}
+
+// forEachWavefront executes body for every tile (band j, spatial index
+// idx), sweeping wavefronts w = j + sum(idx) in order with a barrier
+// between consecutive wavefronts; tiles within one wavefront run in
+// parallel. This is the pipelined start-up the paper attributes to time
+// skewing: early wavefronts hold few tiles.
+func forEachWavefront(pool *par.Pool, bands int, nt []int, body func(j int, idx []int)) {
+	d := len(nt)
+	maxW := bands - 1
+	for _, n := range nt {
+		maxW += n - 1
+	}
+	// Enumerate tiles per wavefront. Tile counts are small (thousands),
+	// so a simple bucket pass is fine.
+	type tile struct {
+		j   int
+		idx []int
+	}
+	buckets := make([][]tile, maxW+1)
+	idx := make([]int, d)
+	var walk func(k, sum int)
+	var j int
+	walk = func(k, sum int) {
+		if k == d {
+			buckets[j+sum] = append(buckets[j+sum], tile{j: j, idx: append([]int(nil), idx...)})
+			return
+		}
+		for v := 0; v < nt[k]; v++ {
+			idx[k] = v
+			walk(k+1, sum+v)
+		}
+		idx[k] = 0
+	}
+	for j = 0; j < bands; j++ {
+		walk(0, 0)
+	}
+	for _, b := range buckets {
+		b := b
+		if len(b) == 0 {
+			continue
+		}
+		pool.For(len(b), func(i int) { body(b[i].j, b[i].idx) })
+	}
+}
+
+// Profile returns the number of tiles in each wavefront of a run:
+// the concurrency available between consecutive barriers. The ramp at
+// the start and end is the pipelined start-up the paper criticises.
+func Profile(cfg Config, n, slopes []int, steps int) []int {
+	tg := newTileGrid(cfg, n, slopes, steps)
+	maxW := tg.bands - 1
+	for _, c := range tg.nt {
+		maxW += c - 1
+	}
+	counts := make([]int, maxW+1)
+	idx := make([]int, len(tg.nt))
+	var walk func(k, sum, j int)
+	walk = func(k, sum, j int) {
+		if k == len(tg.nt) {
+			counts[j+sum]++
+			return
+		}
+		for v := 0; v < tg.nt[k]; v++ {
+			idx[k] = v
+			walk(k+1, sum+v, j)
+		}
+	}
+	for j := 0; j < tg.bands; j++ {
+		walk(0, 0, j)
+	}
+	return counts
+}

@@ -1,0 +1,142 @@
+package stencil
+
+import "fmt"
+
+// Generic is a stencil of arbitrary dimension, shape and order defined
+// by explicit neighbour offsets and coefficients. It powers the
+// formula-driven n-dimensional tessellation executor and the paper's
+// §3.6 extensions (high-order stencils, d >= 4, periodic boundaries),
+// where raw speed matters less than generality.
+type Generic struct {
+	Name    string
+	Dims    int
+	Slopes  []int
+	Offsets [][]int   // neighbour offsets, each of length Dims
+	Coeffs  []float64 // one per offset
+}
+
+// NewStar builds a symmetric star stencil of the given dimension and
+// order: 2*order neighbours per axis plus the centre. Coefficients:
+// centre weight c0, and each off-centre point at distance r gets
+// weight (1-c0) / (2*dims*order) regardless of r — simple but
+// sufficient to exercise the dependence pattern.
+func NewStar(dims, order int) *Generic {
+	if dims < 1 || order < 1 {
+		panic(fmt.Sprintf("stencil: invalid star dims=%d order=%d", dims, order))
+	}
+	g := &Generic{
+		Name:   fmt.Sprintf("star-%dd-o%d", dims, order),
+		Dims:   dims,
+		Slopes: uniformSlopes(dims, order),
+	}
+	const c0 = 0.5
+	w := (1 - c0) / float64(2*dims*order)
+	g.add(make([]int, dims), c0)
+	for k := 0; k < dims; k++ {
+		for r := 1; r <= order; r++ {
+			for _, s := range []int{-r, r} {
+				off := make([]int, dims)
+				off[k] = s
+				g.add(off, w)
+			}
+		}
+	}
+	return g
+}
+
+// NewBox builds a full box stencil of the given dimension and order
+// ((2*order+1)^dims points). The centre has weight 0.5 and the rest
+// share the remaining 0.5 uniformly.
+func NewBox(dims, order int) *Generic {
+	if dims < 1 || order < 1 {
+		panic(fmt.Sprintf("stencil: invalid box dims=%d order=%d", dims, order))
+	}
+	g := &Generic{
+		Name:   fmt.Sprintf("box-%dd-o%d", dims, order),
+		Dims:   dims,
+		Slopes: uniformSlopes(dims, order),
+	}
+	total := 1
+	for k := 0; k < dims; k++ {
+		total *= 2*order + 1
+	}
+	w := 0.5 / float64(total-1)
+	off := make([]int, dims)
+	var walk func(k int)
+	walk = func(k int) {
+		if k == dims {
+			centre := true
+			for _, v := range off {
+				if v != 0 {
+					centre = false
+					break
+				}
+			}
+			if centre {
+				g.add(off, 0.5)
+			} else {
+				g.add(off, w)
+			}
+			return
+		}
+		for v := -order; v <= order; v++ {
+			off[k] = v
+			walk(k + 1)
+		}
+		off[k] = 0
+	}
+	walk(0)
+	return g
+}
+
+func uniformSlopes(dims, order int) []int {
+	s := make([]int, dims)
+	for k := range s {
+		s[k] = order
+	}
+	return s
+}
+
+func (g *Generic) add(off []int, c float64) {
+	g.Offsets = append(g.Offsets, append([]int(nil), off...))
+	g.Coeffs = append(g.Coeffs, c)
+}
+
+// MaxSlope returns the largest per-dimension slope.
+func (g *Generic) MaxSlope() int {
+	m := 0
+	for _, v := range g.Slopes {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// FlatOffsets precomputes the flat-index deltas of the neighbour
+// offsets for a grid with the given strides, so the inner update loop
+// avoids per-neighbour index arithmetic.
+func (g *Generic) FlatOffsets(strides []int) []int {
+	if len(strides) != g.Dims {
+		panic(fmt.Sprintf("stencil: strides rank %d != dims %d", len(strides), g.Dims))
+	}
+	flat := make([]int, len(g.Offsets))
+	for n, off := range g.Offsets {
+		d := 0
+		for k, v := range off {
+			d += v * strides[k]
+		}
+		flat[n] = d
+	}
+	return flat
+}
+
+// Apply computes one update of the point at flat index i: the weighted
+// sum over the precomputed flat neighbour deltas.
+func (g *Generic) Apply(dst, src []float64, i int, flat []int) {
+	var acc float64
+	for n, d := range flat {
+		acc += g.Coeffs[n] * src[i+d]
+	}
+	dst[i] = acc
+}

@@ -1,0 +1,96 @@
+package stencil
+
+// Coefficients of the heat-style kernels. They are chosen to sum to 1
+// (diffusion-like), matching the kernels shipped with Pluto/Pochoir.
+const (
+	h1c, h1e = 0.50, 0.25 // heat-1d: centre, each edge
+	h2c, h2e = 0.50, 0.125
+	h3c, h3e = 0.40, 0.10
+)
+
+func heat1DRow(dst, src []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = h1e*src[i-1] + h1c*src[i] + h1e*src[i+1]
+	}
+}
+
+// 1d5p coefficients (order-2 star, symmetric, sums to 1).
+const (
+	p5c0 = 0.375
+	p5c1 = 0.25
+	p5c2 = 0.0625
+)
+
+func p1d5Row(dst, src []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = p5c2*src[i-2] + p5c1*src[i-1] + p5c0*src[i] + p5c1*src[i+1] + p5c2*src[i+2]
+	}
+}
+
+func heat2DRow(dst, src []float64, base, n, sy int) {
+	for i := base; i < base+n; i++ {
+		dst[i] = h2c*src[i] + h2e*(src[i-1]+src[i+1]+src[i-sy]+src[i+sy])
+	}
+}
+
+// 2d9p box coefficients: centre 0.5, edge-adjacent 0.1, diagonal 0.025.
+const (
+	b9c = 0.5
+	b9e = 0.1
+	b9d = 0.025
+)
+
+func box2D9Row(dst, src []float64, base, n, sy int) {
+	for i := base; i < base+n; i++ {
+		dst[i] = b9c*src[i] +
+			b9e*(src[i-1]+src[i+1]+src[i-sy]+src[i+sy]) +
+			b9d*(src[i-sy-1]+src[i-sy+1]+src[i+sy-1]+src[i+sy+1])
+	}
+}
+
+// lifeRow applies Conway's Game of Life. Cells hold exactly 0 or 1, so
+// float64 arithmetic is exact and the kernel is schedule-independent
+// like the linear ones.
+func lifeRow(dst, src []float64, base, n, sy int) {
+	for i := base; i < base+n; i++ {
+		neighbours := src[i-1] + src[i+1] +
+			src[i-sy-1] + src[i-sy] + src[i-sy+1] +
+			src[i+sy-1] + src[i+sy] + src[i+sy+1]
+		switch {
+		case neighbours == 3:
+			dst[i] = 1
+		case neighbours == 2:
+			dst[i] = src[i]
+		default:
+			dst[i] = 0
+		}
+	}
+}
+
+func heat3DRow(dst, src []float64, base, n, sy, sx int) {
+	for i := base; i < base+n; i++ {
+		dst[i] = h3c*src[i] + h3e*(src[i-1]+src[i+1]+src[i-sy]+src[i+sy]+src[i-sx]+src[i+sx])
+	}
+}
+
+// 3d27p box coefficients by neighbour class: centre, face (6), edge
+// (12), corner (8); they sum to 1.
+const (
+	b27c = 0.4
+	b27f = 0.05
+	b27e = 0.02
+	b27v = 0.0075
+)
+
+func box3D27Row(dst, src []float64, base, n, sy, sx int) {
+	for i := base; i < base+n; i++ {
+		centre := src[i]
+		faces := src[i-1] + src[i+1] + src[i-sy] + src[i+sy] + src[i-sx] + src[i+sx]
+		edges := src[i-sy-1] + src[i-sy+1] + src[i+sy-1] + src[i+sy+1] +
+			src[i-sx-1] + src[i-sx+1] + src[i+sx-1] + src[i+sx+1] +
+			src[i-sx-sy] + src[i-sx+sy] + src[i+sx-sy] + src[i+sx+sy]
+		corners := src[i-sx-sy-1] + src[i-sx-sy+1] + src[i-sx+sy-1] + src[i-sx+sy+1] +
+			src[i+sx-sy-1] + src[i+sx-sy+1] + src[i+sx+sy-1] + src[i+sx+sy+1]
+		dst[i] = b27c*centre + b27f*faces + b27e*edges + b27v*corners
+	}
+}

@@ -1,0 +1,108 @@
+// Package stencil defines the stencil kernels evaluated in the paper
+// (Table 4) plus a generic star/box kernel of arbitrary order, and the
+// row-update functions every tiling scheme shares.
+//
+// All schemes — naive, space-tiled, time-skewed, diamond, cache
+// oblivious, MWD and the paper's tessellation — call the *same* row
+// kernels, so for a fixed input any two correct schedules produce
+// bitwise-identical grids. The test suite exploits this: scheduling
+// bugs surface as exact mismatches, no floating-point tolerance needed.
+package stencil
+
+import "fmt"
+
+// Kernel1D updates dst[i] from src[i-slope .. i+slope] for every flat
+// index i in [lo, hi).
+type Kernel1D func(dst, src []float64, lo, hi int)
+
+// Kernel2D updates the row segment dst[base .. base+n) from src, where
+// sy is the distance between x-adjacent points (the row stride) and the
+// segment is y-contiguous.
+type Kernel2D func(dst, src []float64, base, n, sy int)
+
+// Kernel3D updates the pencil dst[base .. base+n) from src, where sy
+// and sx are the y and x strides and the pencil is z-contiguous.
+type Kernel3D func(dst, src []float64, base, n, sy, sx int)
+
+// Shape classifies the neighbourhood of a stencil.
+type Shape int
+
+const (
+	// Star stencils touch only axis-aligned neighbours.
+	Star Shape = iota
+	// Box stencils touch the full (2m+1)^d neighbourhood.
+	Box
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	if s == Star {
+		return "star"
+	}
+	return "box"
+}
+
+// Spec describes one stencil kernel: its geometry (dimension, shape,
+// per-dimension dependence slope) and the shared update functions. The
+// slope equals the halo width a grid needs and the per-time-step tile
+// boundary motion (the paper's XSLOPE/YSLOPE).
+type Spec struct {
+	Name   string
+	Dims   int
+	Shape  Shape
+	Slopes []int // dependence slope (order) per dimension
+	Points int   // stencil points read per update
+	Flops  int   // floating-point ops per update (for GF/s reporting)
+
+	K1 Kernel1D // set iff Dims == 1
+	K2 Kernel2D // set iff Dims == 2
+	K3 Kernel3D // set iff Dims == 3
+}
+
+// MaxSlope returns the largest per-dimension slope.
+func (s *Spec) MaxSlope() int {
+	m := 0
+	for _, v := range s.Slopes {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// String implements fmt.Stringer.
+func (s *Spec) String() string {
+	return fmt.Sprintf("%s (%dD %s, slopes %v)", s.Name, s.Dims, s.Shape, s.Slopes)
+}
+
+// The seven benchmark stencils of the paper's Table 4.
+var (
+	// Heat1D is the 1D 3-point heat equation stencil.
+	Heat1D = &Spec{Name: "heat-1d", Dims: 1, Shape: Star, Slopes: []int{1}, Points: 3, Flops: 5, K1: heat1DRow}
+	// P1D5 is the 1D 5-point (order-2) star stencil.
+	P1D5 = &Spec{Name: "1d5p", Dims: 1, Shape: Star, Slopes: []int{2}, Points: 5, Flops: 9, K1: p1d5Row}
+	// Heat2D is the 2D 5-point heat equation stencil.
+	Heat2D = &Spec{Name: "heat-2d", Dims: 2, Shape: Star, Slopes: []int{1, 1}, Points: 5, Flops: 9, K2: heat2DRow}
+	// Box2D9 is the 2D 9-point box stencil.
+	Box2D9 = &Spec{Name: "2d9p", Dims: 2, Shape: Box, Slopes: []int{1, 1}, Points: 9, Flops: 17, K2: box2D9Row}
+	// Life is Conway's Game of Life (2D 9-point box dependence).
+	Life = &Spec{Name: "game-of-life", Dims: 2, Shape: Box, Slopes: []int{1, 1}, Points: 9, Flops: 9, K2: lifeRow}
+	// Heat3D is the 3D 7-point heat equation stencil.
+	Heat3D = &Spec{Name: "heat-3d", Dims: 3, Shape: Star, Slopes: []int{1, 1, 1}, Points: 7, Flops: 13, K3: heat3DRow}
+	// Box3D27 is the 3D 27-point box stencil.
+	Box3D27 = &Spec{Name: "3d27p", Dims: 3, Shape: Box, Slopes: []int{1, 1, 1}, Points: 27, Flops: 53, K3: box3D27Row}
+)
+
+// All lists the benchmark stencils in the order of the paper's Table 4.
+var All = []*Spec{Heat1D, P1D5, Heat2D, Box2D9, Life, Heat3D, Box3D27}
+
+// ByName returns the benchmark spec with the given name, or an error
+// listing the valid names.
+func ByName(name string) (*Spec, error) {
+	for _, s := range All {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("stencil: unknown kernel %q (valid: heat-1d, 1d5p, heat-2d, 2d9p, game-of-life, heat-3d, 3d27p)", name)
+}

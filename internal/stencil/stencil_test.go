@@ -1,0 +1,247 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestByName(t *testing.T) {
+	for _, s := range All {
+		got, err := ByName(s.Name)
+		if err != nil || got != s {
+			t.Fatalf("ByName(%q) = %v, %v", s.Name, got, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) should fail")
+	}
+}
+
+func TestSpecGeometry(t *testing.T) {
+	cases := []struct {
+		s      *Spec
+		dims   int
+		points int
+		slope  int
+	}{
+		{Heat1D, 1, 3, 1},
+		{P1D5, 1, 5, 2},
+		{Heat2D, 2, 5, 1},
+		{Box2D9, 2, 9, 1},
+		{Life, 2, 9, 1},
+		{Heat3D, 3, 7, 1},
+		{Box3D27, 3, 27, 1},
+	}
+	for _, tc := range cases {
+		if tc.s.Dims != tc.dims || tc.s.Points != tc.points || tc.s.MaxSlope() != tc.slope {
+			t.Errorf("%s: dims=%d points=%d slope=%d, want %d/%d/%d",
+				tc.s.Name, tc.s.Dims, tc.s.Points, tc.s.MaxSlope(), tc.dims, tc.points, tc.slope)
+		}
+		if len(tc.s.Slopes) != tc.dims {
+			t.Errorf("%s: %d slopes for %d dims", tc.s.Name, len(tc.s.Slopes), tc.dims)
+		}
+	}
+}
+
+// Linear kernels with coefficients summing to 1 must preserve a
+// constant field up to one rounding step (the grouped sums of the box
+// kernels are not exactly associative).
+func TestKernelsPreserveConstants(t *testing.T) {
+	const c = 3.25 // exactly representable
+	near := func(got float64) bool { return math.Abs(got-c) < 1e-12 }
+
+	t.Run("heat1d", func(t *testing.T) {
+		src := constSlice(16, c)
+		dst := make([]float64, 16)
+		heat1DRow(dst, src, 2, 14)
+		for i := 2; i < 14; i++ {
+			if !near(dst[i]) {
+				t.Fatalf("dst[%d] = %v, want %v", i, dst[i], c)
+			}
+		}
+	})
+	t.Run("1d5p", func(t *testing.T) {
+		src := constSlice(16, c)
+		dst := make([]float64, 16)
+		p1d5Row(dst, src, 2, 14)
+		for i := 2; i < 14; i++ {
+			if !near(dst[i]) {
+				t.Fatalf("dst[%d] = %v, want %v", i, dst[i], c)
+			}
+		}
+	})
+	for name, k := range map[string]Kernel2D{"heat2d": heat2DRow, "2d9p": box2D9Row} {
+		t.Run(name, func(t *testing.T) {
+			const sy = 8
+			src := constSlice(8*sy, c)
+			dst := make([]float64, 8*sy)
+			k(dst, src, 3*sy+1, 6, sy)
+			for i := 3*sy + 1; i < 3*sy+7; i++ {
+				if !near(dst[i]) {
+					t.Fatalf("dst[%d] = %v, want %v", i, dst[i], c)
+				}
+			}
+		})
+	}
+	for name, k := range map[string]Kernel3D{"heat3d": heat3DRow, "3d27p": box3D27Row} {
+		t.Run(name, func(t *testing.T) {
+			const sy, sx = 6, 36
+			src := constSlice(6*sx, c)
+			dst := make([]float64, 6*sx)
+			k(dst, src, 2*sx+2*sy+1, 4, sy, sx)
+			for i := 2*sx + 2*sy + 1; i < 2*sx+2*sy+5; i++ {
+				if !near(dst[i]) {
+					t.Fatalf("dst[%d] = %v, want %v", i, dst[i], c)
+				}
+			}
+		})
+	}
+}
+
+func constSlice(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func TestLifeRules(t *testing.T) {
+	// 3x3 neighbourhood cases on a 5x5 field, stride 5, centre index 12.
+	cases := []struct {
+		name      string
+		alive     []int // flat indices set to 1
+		wantAlive bool
+	}{
+		{"dead stays dead with 2", []int{11, 13}, false},
+		{"birth with exactly 3", []int{11, 13, 7}, true},
+		{"survive with 2", []int{12, 11, 13}, true},
+		{"survive with 3", []int{12, 11, 13, 7}, true},
+		{"die of loneliness", []int{12, 11}, false},
+		{"die of overcrowding", []int{12, 6, 7, 8, 11, 13}, false},
+		{"dead with 4 stays dead", []int{6, 7, 8, 11}, false},
+	}
+	for _, tc := range cases {
+		src := make([]float64, 25)
+		dst := make([]float64, 25)
+		for _, i := range tc.alive {
+			src[i] = 1
+		}
+		lifeRow(dst, src, 12, 1, 5)
+		got := dst[12] == 1
+		if got != tc.wantAlive {
+			t.Errorf("%s: alive = %v, want %v", tc.name, got, tc.wantAlive)
+		}
+	}
+}
+
+func TestGenericStarGeometry(t *testing.T) {
+	g := NewStar(3, 2)
+	if len(g.Offsets) != 1+2*3*2 {
+		t.Fatalf("star-3d-o2 has %d points, want 13", len(g.Offsets))
+	}
+	if g.MaxSlope() != 2 {
+		t.Fatalf("MaxSlope = %d, want 2", g.MaxSlope())
+	}
+	sum := 0.0
+	for _, c := range g.Coeffs {
+		sum += c
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("coefficients sum to %v, want 1", sum)
+	}
+}
+
+func TestGenericBoxGeometry(t *testing.T) {
+	g := NewBox(2, 1)
+	if len(g.Offsets) != 9 {
+		t.Fatalf("box-2d-o1 has %d points, want 9", len(g.Offsets))
+	}
+	sum := 0.0
+	for _, c := range g.Coeffs {
+		sum += c
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("coefficients sum to %v, want 1", sum)
+	}
+}
+
+// Property: generic box point counts are (2r+1)^d for random small d, r.
+func TestGenericBoxPointCount(t *testing.T) {
+	f := func(a, b uint8) bool {
+		d := int(a%3) + 1
+		r := int(b%2) + 1
+		g := NewBox(d, r)
+		want := 1
+		for k := 0; k < d; k++ {
+			want *= 2*r + 1
+		}
+		return len(g.Offsets) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenericFlatOffsetsAndApply(t *testing.T) {
+	g := NewStar(2, 1)
+	strides := []int{10, 1}
+	flat := g.FlatOffsets(strides)
+	if len(flat) != 5 {
+		t.Fatalf("%d flat offsets, want 5", len(flat))
+	}
+	// Constant preservation through Apply.
+	src := constSlice(100, 2.5)
+	dst := make([]float64, 100)
+	g.Apply(dst, src, 55, flat)
+	if dst[55] != 2.5 {
+		t.Fatalf("Apply on constant field = %v, want 2.5", dst[55])
+	}
+}
+
+// The generic 2D order-1 star with heat coefficients must agree with
+// the specialised heat2DRow kernel bit-for-bit.
+func TestGenericMatchesSpecialised2D(t *testing.T) {
+	g := &Generic{Name: "heat2d-generic", Dims: 2, Slopes: []int{1, 1}}
+	g.add([]int{0, 0}, h2c)
+	g.add([]int{-1, 0}, h2e)
+	g.add([]int{1, 0}, h2e)
+	g.add([]int{0, -1}, h2e)
+	g.add([]int{0, 1}, h2e)
+
+	const sy = 12
+	src := make([]float64, 10*sy)
+	for i := range src {
+		src[i] = float64(i%7) * 0.375
+	}
+	want := make([]float64, 10*sy)
+	got := make([]float64, 10*sy)
+	heat2DRow(want, src, 4*sy+2, 8, sy)
+	flat := g.FlatOffsets([]int{sy, 1})
+	for i := 4*sy + 2; i < 4*sy+10; i++ {
+		g.Apply(got, src, i, flat)
+	}
+	for i := 4*sy + 2; i < 4*sy+10; i++ {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: generic %v vs specialised %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGenericInvalidPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"star dims=0":     func() { NewStar(0, 1) },
+		"box order=0":     func() { NewBox(2, 0) },
+		"bad stride rank": func() { NewStar(2, 1).FlatOffsets([]int{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

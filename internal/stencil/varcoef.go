@@ -1,0 +1,73 @@
+package stencil
+
+// NewVarCoef2D builds a 2D 5-point heat kernel with spatially varying
+// conductivity: an explicit finite-volume diffusion step
+//
+//	u'[i] = u[i] + Σ_dir w(i, nbr) * (u[nbr] - u[i]),
+//	w(i, j) = (κ[i] + κ[j]) / 8
+//
+// where κ is a per-cell conductivity field in [0, 1] laid out exactly
+// like the data buffers (same halo and strides — pass a slice with the
+// grid's total padded length). The dependence pattern is the plain
+// 5-point star, so the kernel runs unchanged under every tiling scheme
+// in the repository; it exists to demonstrate that the schedules care
+// only about the dependence footprint, not the arithmetic.
+//
+// Stability: with κ in [0, 1] the update is a convex combination
+// (Σw <= 1), preserving the discrete maximum principle.
+func NewVarCoef2D(kappa []float64) *Spec {
+	if len(kappa) == 0 {
+		panic("stencil: empty conductivity field")
+	}
+	k := kappa
+	return &Spec{
+		Name:   "varcoef-2d",
+		Dims:   2,
+		Shape:  Star,
+		Slopes: []int{1, 1},
+		Points: 5,
+		Flops:  21,
+		K2: func(dst, src []float64, base, n, sy int) {
+			for i := base; i < base+n; i++ {
+				u := src[i]
+				acc := u
+				acc += (k[i] + k[i-1]) * 0.125 * (src[i-1] - u)
+				acc += (k[i] + k[i+1]) * 0.125 * (src[i+1] - u)
+				acc += (k[i] + k[i-sy]) * 0.125 * (src[i-sy] - u)
+				acc += (k[i] + k[i+sy]) * 0.125 * (src[i+sy] - u)
+				dst[i] = acc
+			}
+		},
+	}
+}
+
+// NewVarCoef3D is the 3D analogue of NewVarCoef2D (7-point star with
+// per-cell conductivity, weights (κ[i]+κ[j])/12).
+func NewVarCoef3D(kappa []float64) *Spec {
+	if len(kappa) == 0 {
+		panic("stencil: empty conductivity field")
+	}
+	k := kappa
+	const w = 1.0 / 12
+	return &Spec{
+		Name:   "varcoef-3d",
+		Dims:   3,
+		Shape:  Star,
+		Slopes: []int{1, 1, 1},
+		Points: 7,
+		Flops:  31,
+		K3: func(dst, src []float64, base, n, sy, sx int) {
+			for i := base; i < base+n; i++ {
+				u := src[i]
+				acc := u
+				acc += (k[i] + k[i-1]) * w * (src[i-1] - u)
+				acc += (k[i] + k[i+1]) * w * (src[i+1] - u)
+				acc += (k[i] + k[i-sy]) * w * (src[i-sy] - u)
+				acc += (k[i] + k[i+sy]) * w * (src[i+sy] - u)
+				acc += (k[i] + k[i-sx]) * w * (src[i-sx] - u)
+				acc += (k[i] + k[i+sx]) * w * (src[i+sx] - u)
+				dst[i] = acc
+			}
+		},
+	}
+}

@@ -1,0 +1,86 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVarCoef2DConvexity(t *testing.T) {
+	const sy = 8
+	kappa := make([]float64, 8*sy)
+	for i := range kappa {
+		kappa[i] = float64(i%5) / 4 // conductivities in [0, 1]
+	}
+	s := NewVarCoef2D(kappa)
+	src := make([]float64, 8*sy)
+	for i := range src {
+		src[i] = float64(i%7) / 7 * 50
+	}
+	dst := make([]float64, 8*sy)
+	s.K2(dst, src, 3*sy+1, 6, sy)
+	// Each output is a convex combination of the 5-point neighbourhood:
+	// it must lie within the local min/max (maximum principle).
+	for i := 3*sy + 1; i < 3*sy+7; i++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, j := range []int{i, i - 1, i + 1, i - sy, i + sy} {
+			lo = math.Min(lo, src[j])
+			hi = math.Max(hi, src[j])
+		}
+		if dst[i] < lo-1e-12 || dst[i] > hi+1e-12 {
+			t.Fatalf("dst[%d] = %v outside local range [%v, %v]", i, dst[i], lo, hi)
+		}
+	}
+}
+
+func TestVarCoefZeroConductivityFreezes(t *testing.T) {
+	const sy = 8
+	kappa := make([]float64, 8*sy) // all zero
+	s := NewVarCoef2D(kappa)
+	src := make([]float64, 8*sy)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	dst := make([]float64, 8*sy)
+	s.K2(dst, src, 3*sy+1, 6, sy)
+	for i := 3*sy + 1; i < 3*sy+7; i++ {
+		if dst[i] != src[i] {
+			t.Fatalf("zero conductivity changed the field at %d", i)
+		}
+	}
+}
+
+func TestVarCoef3DConstantPreserved(t *testing.T) {
+	const sy, sx = 6, 36
+	kappa := make([]float64, 6*sx)
+	for i := range kappa {
+		kappa[i] = 0.75
+	}
+	s := NewVarCoef3D(kappa)
+	src := make([]float64, 6*sx)
+	for i := range src {
+		src[i] = 2.5
+	}
+	dst := make([]float64, 6*sx)
+	s.K3(dst, src, 2*sx+2*sy+1, 4, sy, sx)
+	for i := 2*sx + 2*sy + 1; i < 2*sx+2*sy+5; i++ {
+		if math.Abs(dst[i]-2.5) > 1e-12 {
+			t.Fatalf("constant not preserved: %v", dst[i])
+		}
+	}
+}
+
+func TestVarCoefPanicsOnEmptyField(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"2d": func() { NewVarCoef2D(nil) },
+		"3d": func() { NewVarCoef3D(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

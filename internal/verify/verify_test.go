@@ -1,0 +1,93 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"tessellate/internal/grid"
+)
+
+func TestEqualGrids(t *testing.T) {
+	a := grid.NewGrid2D(5, 5, 1, 1)
+	a.Fill(func(x, y int) float64 { return float64(x*10 + y) })
+	b := a.Clone()
+	r := Grids2D(a, b)
+	if !r.Equal || r.Count != 0 {
+		t.Fatalf("identical grids reported different: %+v", r)
+	}
+	if r.Error("x") != nil {
+		t.Fatal("Error on equal result should be nil")
+	}
+}
+
+func TestFirstDifferenceIsReported(t *testing.T) {
+	a := grid.NewGrid2D(4, 4, 1, 1)
+	b := a.Clone()
+	b.Set(1, 2, 5)
+	b.Set(3, 3, 7)
+	r := Grids2D(a, b)
+	if r.Equal {
+		t.Fatal("differing grids reported equal")
+	}
+	if r.Count != 2 {
+		t.Fatalf("Count = %d, want 2", r.Count)
+	}
+	if r.FirstAt[0] != 1 || r.FirstAt[1] != 2 {
+		t.Fatalf("FirstAt = %v, want [1 2]", r.FirstAt)
+	}
+	if r.MaxAbs != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", r.MaxAbs)
+	}
+	err := r.Error("label")
+	if err == nil || !strings.Contains(err.Error(), "label") {
+		t.Fatalf("Error() = %v", err)
+	}
+}
+
+func TestShapeMismatch(t *testing.T) {
+	a := grid.NewGrid1D(4, 1)
+	b := grid.NewGrid1D(5, 1)
+	if r := Grids1D(a, b); r.Equal {
+		t.Fatal("shape mismatch reported equal")
+	}
+}
+
+func Test1DAnd3D(t *testing.T) {
+	a1 := grid.NewGrid1D(6, 1)
+	b1 := a1.Clone()
+	b1.Set(3, 1)
+	if r := Grids1D(a1, b1); r.Equal || r.FirstAt[0] != 3 {
+		t.Fatalf("1D diff not found: %+v", r)
+	}
+
+	a3 := grid.NewGrid3D(3, 3, 3, 1, 1, 1)
+	b3 := a3.Clone()
+	b3.Set(2, 1, 0, -4)
+	r := Grids3D(a3, b3)
+	if r.Equal || r.FirstAt[0] != 2 || r.FirstAt[1] != 1 || r.FirstAt[2] != 0 {
+		t.Fatalf("3D diff not found: %+v", r)
+	}
+}
+
+func TestNDComparison(t *testing.T) {
+	a := grid.NewNDGrid([]int{3, 3, 3, 3}, []int{0, 0, 0, 0})
+	b := a.Clone()
+	if r := GridsND(a, b); !r.Equal {
+		t.Fatalf("equal ND grids differ: %+v", r)
+	}
+	b.Set([]int{1, 2, 0, 1}, 9)
+	r := GridsND(a, b)
+	if r.Equal || r.Count != 1 {
+		t.Fatalf("ND diff not found: %+v", r)
+	}
+	want := []int{1, 2, 0, 1}
+	for k := range want {
+		if r.FirstAt[k] != want[k] {
+			t.Fatalf("FirstAt = %v, want %v", r.FirstAt, want)
+		}
+	}
+	c := grid.NewNDGrid([]int{3, 3}, []int{0, 0})
+	if r := GridsND(a, c); r.Equal {
+		t.Fatal("rank mismatch reported equal")
+	}
+}

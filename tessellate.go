@@ -1,0 +1,398 @@
+// Package tessellate is a Go implementation of "Tessellating Stencils"
+// (Yuan, Zhang, Guo, Huang — SC'17): a two-level tessellation tiling
+// scheme for Jacobi stencil computations with concurrent start, no
+// redundant computation, and d synchronizations per time tile for a
+// d-dimensional stencil.
+//
+// The package also ships the baselines the paper evaluates against —
+// naive and space-tiled sweeps, time-skewed wavefront tiling,
+// concurrent-start diamond tiling (Pluto), cache-oblivious trapezoidal
+// decomposition (Pochoir) and a multicore wavefront diamond scheme
+// (Girih/MWD) — all running the same row kernels, so every scheme
+// produces bitwise-identical results on the same input.
+//
+// # Quick start
+//
+//	g := tessellate.NewGrid2D(512, 512, 1, 1)
+//	g.Fill(func(x, y int) float64 { return initial(x, y) })
+//	eng := tessellate.NewEngine(0) // 0 = GOMAXPROCS workers
+//	defer eng.Close()
+//	err := eng.Run2D(g, tessellate.Heat2D, 100, tessellate.Options{})
+//
+// Options{} selects the tessellation scheme with auto-tuned block
+// sizes; see Options for the full parameter space.
+package tessellate
+
+import (
+	"fmt"
+
+	"tessellate/internal/core"
+	"tessellate/internal/d35"
+	"tessellate/internal/diamond"
+	"tessellate/internal/grid"
+	"tessellate/internal/mwd"
+	"tessellate/internal/naive"
+	"tessellate/internal/oblivious"
+	"tessellate/internal/overlap"
+	"tessellate/internal/par"
+	"tessellate/internal/skew"
+	"tessellate/internal/stencil"
+)
+
+// Grid types. A grid owns two time-parity buffers plus a constant halo
+// (the non-periodic boundary of the paper's evaluation).
+type (
+	// Grid1D is a double-buffered 1D grid; see NewGrid1D.
+	Grid1D = grid.Grid1D
+	// Grid2D is a double-buffered 2D grid; see NewGrid2D.
+	Grid2D = grid.Grid2D
+	// Grid3D is a double-buffered 3D grid; see NewGrid3D.
+	Grid3D = grid.Grid3D
+	// NDGrid is a double-buffered grid of any dimension, served by the
+	// formula-driven executor.
+	NDGrid = grid.NDGrid
+	// Stencil describes one of the built-in benchmark kernels.
+	Stencil = stencil.Spec
+	// GenericStencil is a stencil of arbitrary dimension/order/shape.
+	GenericStencil = stencil.Generic
+)
+
+// Grid constructors (re-exported).
+var (
+	NewGrid1D = grid.NewGrid1D
+	NewGrid2D = grid.NewGrid2D
+	NewGrid3D = grid.NewGrid3D
+	NewNDGrid = grid.NewNDGrid
+	NewStar   = stencil.NewStar
+	NewBox    = stencil.NewBox
+	// NewVarCoef2D/3D build heat kernels with per-cell conductivity;
+	// the coefficient slice must have the grid buffer's padded layout.
+	NewVarCoef2D = stencil.NewVarCoef2D
+	NewVarCoef3D = stencil.NewVarCoef3D
+)
+
+// The seven benchmark stencils of the paper's Table 4.
+var (
+	Heat1D  = stencil.Heat1D
+	P1D5    = stencil.P1D5
+	Heat2D  = stencil.Heat2D
+	Box2D9  = stencil.Box2D9
+	Life    = stencil.Life
+	Heat3D  = stencil.Heat3D
+	Box3D27 = stencil.Box3D27
+)
+
+// StencilByName resolves one of the benchmark kernels by its Table 4
+// name ("heat-2d", "3d27p", ...).
+func StencilByName(name string) (*Stencil, error) { return stencil.ByName(name) }
+
+// Scheme selects the tiling algorithm.
+type Scheme int
+
+const (
+	// Tessellation is the paper's scheme (the default).
+	Tessellation Scheme = iota
+	// Naive is the untiled per-time-step sweep.
+	Naive
+	// SpaceTiled blocks each time step spatially (no temporal reuse).
+	SpaceTiled
+	// Skewed is classic time-skewed parallelepiped tiling with a
+	// pipelined wavefront.
+	Skewed
+	// Diamond is concurrent-start diamond tiling (Pluto).
+	Diamond
+	// Oblivious is cache-oblivious trapezoidal decomposition (Pochoir).
+	Oblivious
+	// MWD is the multicore wavefront diamond scheme (Girih).
+	MWD
+	// Overlapped is ghost-zone (overlapped) tiling: maximal concurrency
+	// bought with redundant computation (2D only).
+	Overlapped
+	// D35 is 3.5D blocking (Nguyen et al.): 2.5D spatial blocking with
+	// an x-streaming temporal pipeline (3D only).
+	D35
+)
+
+var schemeNames = map[Scheme]string{
+	Tessellation: "tessellation",
+	Naive:        "naive",
+	SpaceTiled:   "space-tiled",
+	Skewed:       "skewed",
+	Diamond:      "diamond",
+	Oblivious:    "oblivious",
+	MWD:          "mwd",
+	Overlapped:   "overlapped",
+	D35:          "3.5d",
+}
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// SchemeByName resolves a scheme name as printed by String.
+func SchemeByName(name string) (Scheme, error) {
+	for s, n := range schemeNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("tessellate: unknown scheme %q", name)
+}
+
+// Schemes lists all available schemes.
+func Schemes() []Scheme {
+	return []Scheme{Tessellation, Naive, SpaceTiled, Skewed, Diamond, Oblivious, MWD, Overlapped, D35}
+}
+
+// Options parametrises a run. The zero value selects the tessellation
+// scheme with block sizes derived from the grid and stencil.
+type Options struct {
+	// Scheme selects the tiling algorithm.
+	Scheme Scheme
+	// TimeTile is the temporal tile height (the paper's b / bt). 0
+	// picks a default.
+	TimeTile int
+	// Block is the per-dimension spatial block size. Its meaning
+	// follows the scheme: the tessellation coarse size Big, the skewed
+	// tile extent, the diamond waist (first entry), the space tile, or
+	// the oblivious base-case cutoffs. Empty picks defaults.
+	Block []int
+	// NoMerge disables the tessellation's B_d+B_0 merging (§4.3);
+	// useful for the ablation study.
+	NoMerge bool
+	// Periodic selects wrap-around boundaries (paper §3.6). Currently
+	// supported by the tessellation's ND executor (RunND) when each
+	// domain extent is a multiple of the block lattice period.
+	Periodic bool
+}
+
+// Engine owns a worker pool and executes runs. Create one per desired
+// thread count and reuse it; Close releases the workers.
+type Engine struct {
+	pool *par.Pool
+}
+
+// NewEngine creates an engine with the given number of workers
+// (0 = GOMAXPROCS).
+func NewEngine(threads int) *Engine {
+	return &Engine{pool: par.NewPool(threads)}
+}
+
+// Threads reports the engine's worker count.
+func (e *Engine) Threads() int { return e.pool.Workers() }
+
+// Close releases the engine's workers.
+func (e *Engine) Close() { e.pool.Close() }
+
+// Run1D advances a 1D grid by steps time steps of s under opt.
+func (e *Engine) Run1D(g *Grid1D, s *Stencil, steps int, opt Options) error {
+	if steps < 0 {
+		return fmt.Errorf("tessellate: negative steps %d", steps)
+	}
+	if s.Dims != 1 {
+		return fmt.Errorf("tessellate: %s is a %dD kernel, grid is 1D", s.Name, s.Dims)
+	}
+	n := []int{g.N}
+	switch opt.Scheme {
+	case Tessellation:
+		cfg := tessConfig(n, s, opt)
+		return core.Run1D(g, s, steps, &cfg, e.pool)
+	case Naive, SpaceTiled:
+		naive.Run1D(g, s, steps, e.pool)
+		return nil
+	case Skewed:
+		return skew.Run1D(g, s, steps, skewConfig(n, s, opt), e.pool)
+	case Diamond:
+		return diamond.Run1D(g, s, steps, diamondConfig(s, opt), e.pool)
+	case Oblivious:
+		return oblivious.Run1D(g, s, steps, obliviousConfig(1, opt), e.pool)
+	case MWD, Overlapped, D35:
+		return fmt.Errorf("tessellate: scheme %v is not available in 1D", opt.Scheme)
+	default:
+		return fmt.Errorf("tessellate: unknown scheme %v", opt.Scheme)
+	}
+}
+
+// Run2D advances a 2D grid by steps time steps of s under opt.
+func (e *Engine) Run2D(g *Grid2D, s *Stencil, steps int, opt Options) error {
+	if steps < 0 {
+		return fmt.Errorf("tessellate: negative steps %d", steps)
+	}
+	if s.Dims != 2 {
+		return fmt.Errorf("tessellate: %s is a %dD kernel, grid is 2D", s.Name, s.Dims)
+	}
+	n := []int{g.NX, g.NY}
+	switch opt.Scheme {
+	case Tessellation:
+		cfg := tessConfig(n, s, opt)
+		return core.Run2D(g, s, steps, &cfg, e.pool)
+	case Naive:
+		naive.Run2D(g, s, steps, e.pool)
+		return nil
+	case SpaceTiled:
+		bx, by := blockOr(opt.Block, 0, 64), blockOr(opt.Block, 1, 64)
+		naive.SpaceTiled2D(g, s, steps, bx, by, e.pool)
+		return nil
+	case Skewed:
+		return skew.Run2D(g, s, steps, skewConfig(n, s, opt), e.pool)
+	case Diamond:
+		return diamond.Run2D(g, s, steps, diamondConfig(s, opt), e.pool)
+	case Oblivious:
+		return oblivious.Run2D(g, s, steps, obliviousConfig(2, opt), e.pool)
+	case MWD:
+		return mwd.Run2D(g, s, steps, mwdConfig(s, opt), e.pool)
+	case Overlapped:
+		return overlap.Run2D(g, s, steps, overlapConfig(s, opt), e.pool)
+	case D35:
+		return fmt.Errorf("tessellate: scheme %v is not available in 2D", opt.Scheme)
+	default:
+		return fmt.Errorf("tessellate: unknown scheme %v", opt.Scheme)
+	}
+}
+
+// Run3D advances a 3D grid by steps time steps of s under opt.
+func (e *Engine) Run3D(g *Grid3D, s *Stencil, steps int, opt Options) error {
+	if steps < 0 {
+		return fmt.Errorf("tessellate: negative steps %d", steps)
+	}
+	if s.Dims != 3 {
+		return fmt.Errorf("tessellate: %s is a %dD kernel, grid is 3D", s.Name, s.Dims)
+	}
+	n := []int{g.NX, g.NY, g.NZ}
+	switch opt.Scheme {
+	case Tessellation:
+		cfg := tessConfig(n, s, opt)
+		return core.Run3D(g, s, steps, &cfg, e.pool)
+	case Naive:
+		naive.Run3D(g, s, steps, e.pool)
+		return nil
+	case SpaceTiled:
+		bx, by := blockOr(opt.Block, 0, 16), blockOr(opt.Block, 1, 16)
+		naive.SpaceTiled3D(g, s, steps, bx, by, e.pool)
+		return nil
+	case Skewed:
+		return skew.Run3D(g, s, steps, skewConfig(n, s, opt), e.pool)
+	case Diamond:
+		return diamond.Run3D(g, s, steps, diamondConfig(s, opt), e.pool)
+	case Oblivious:
+		return oblivious.Run3D(g, s, steps, obliviousConfig(3, opt), e.pool)
+	case MWD:
+		return mwd.Run3D(g, s, steps, mwdConfig(s, opt), e.pool)
+	case Overlapped:
+		return fmt.Errorf("tessellate: scheme %v is not available in 3D", opt.Scheme)
+	case D35:
+		return d35.Run3D(g, s, steps, d35Config(s, opt), e.pool)
+	default:
+		return fmt.Errorf("tessellate: unknown scheme %v", opt.Scheme)
+	}
+}
+
+// RunND advances an n-dimensional grid with a generic stencil using the
+// tessellation scheme (the only scheme implemented for d > 3). With
+// opt.Periodic the boundary wraps around (paper §3.6); each domain
+// extent must then be a multiple of the block lattice period
+// Big[k]+Small[k].
+func (e *Engine) RunND(g *NDGrid, s *GenericStencil, steps int, opt Options) error {
+	if opt.Scheme != Tessellation {
+		return fmt.Errorf("tessellate: only the tessellation scheme supports ND grids")
+	}
+	cfg := tessConfigGeneric(g.Dims, s.Slopes, opt)
+	if opt.Periodic {
+		return core.RunNDPeriodic(g, s, steps, &cfg, e.pool)
+	}
+	return core.RunND(g, s, steps, &cfg, e.pool)
+}
+
+// tessConfig builds a core.Config from Options for a benchmark spec.
+func tessConfig(n []int, s *Stencil, opt Options) core.Config {
+	return tessConfigGeneric(n, s.Slopes, opt)
+}
+
+func tessConfigGeneric(n, slopes []int, opt Options) core.Config {
+	cfg := core.DefaultConfig(n, slopes)
+	if opt.TimeTile > 0 {
+		cfg.BT = opt.TimeTile
+		for k := range cfg.Big {
+			cfg.Big[k] = 4 * cfg.BT * slopes[k]
+		}
+	}
+	if len(opt.Block) == len(n) {
+		copy(cfg.Big, opt.Block)
+	}
+	cfg.Merge = !opt.NoMerge
+	return cfg
+}
+
+func skewConfig(n []int, s *Stencil, opt Options) skew.Config {
+	bt := opt.TimeTile
+	if bt <= 0 {
+		bt = 8
+	}
+	cfg := skew.Config{BT: bt, BX: make([]int, len(n))}
+	for k := range n {
+		cfg.BX[k] = blockOr(opt.Block, k, 4*bt*s.Slopes[k])
+	}
+	return cfg
+}
+
+func diamondConfig(s *Stencil, opt Options) diamond.Config {
+	bt := opt.TimeTile
+	if bt <= 0 {
+		bt = 8
+	}
+	return diamond.Config{BT: bt, BX: blockOr(opt.Block, 0, 4*bt*s.Slopes[0])}
+}
+
+func mwdConfig(s *Stencil, opt Options) mwd.Config {
+	bt := opt.TimeTile
+	if bt <= 0 {
+		bt = 8
+	}
+	return mwd.Config{BT: bt, BX: blockOr(opt.Block, 0, 4*bt*s.Slopes[0])}
+}
+
+func overlapConfig(s *Stencil, opt Options) overlap.Config {
+	bt := opt.TimeTile
+	if bt <= 0 {
+		bt = 4
+	}
+	cfg := overlap.Config{BT: bt, BX: make([]int, s.Dims)}
+	for k := 0; k < s.Dims; k++ {
+		cfg.BX[k] = blockOr(opt.Block, k, 16*bt*s.Slopes[k])
+	}
+	return cfg
+}
+
+func d35Config(s *Stencil, opt Options) d35.Config {
+	bt := opt.TimeTile
+	if bt <= 0 {
+		bt = 4
+	}
+	return d35.Config{
+		BT: bt,
+		TY: blockOr(opt.Block, 1, 8*bt*s.Slopes[1]),
+		TZ: blockOr(opt.Block, 2, 8*bt*s.Slopes[2]),
+	}
+}
+
+func obliviousConfig(d int, opt Options) oblivious.Config {
+	cfg := oblivious.DefaultConfig(d)
+	if opt.TimeTile > 0 {
+		cfg.TCut = opt.TimeTile
+	}
+	if len(opt.Block) == d {
+		copy(cfg.SCut, opt.Block)
+	}
+	return cfg
+}
+
+func blockOr(block []int, k, def int) int {
+	if k < len(block) && block[k] > 0 {
+		return block[k]
+	}
+	return def
+}

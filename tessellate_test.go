@@ -1,0 +1,189 @@
+package tessellate
+
+import (
+	"math/rand"
+	"testing"
+
+	"tessellate/internal/verify"
+)
+
+// schemes1D..3D list the schemes available per dimensionality.
+var (
+	schemes1D = []Scheme{Tessellation, Naive, SpaceTiled, Skewed, Diamond, Oblivious}
+	schemes2D = []Scheme{Tessellation, Naive, SpaceTiled, Skewed, Diamond, Oblivious, MWD, Overlapped}
+	schemes3D = []Scheme{Tessellation, Naive, SpaceTiled, Skewed, Diamond, Oblivious, MWD, D35}
+)
+
+// TestAllSchemesAgree1D runs every 1D scheme on the same input and
+// demands bitwise-identical output.
+func TestAllSchemesAgree1D(t *testing.T) {
+	eng := NewEngine(4)
+	defer eng.Close()
+	for _, s := range []*Stencil{Heat1D, P1D5} {
+		base := NewGrid1D(200, s.MaxSlope())
+		rng := rand.New(rand.NewSource(5))
+		base.Fill(func(x int) float64 { return rng.Float64() })
+		base.SetBoundary(0.75)
+
+		ref := base.Clone()
+		if err := eng.Run1D(ref, s, 25, Options{Scheme: Naive}); err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range schemes1D {
+			g := base.Clone()
+			if err := eng.Run1D(g, s, 25, Options{Scheme: sc, TimeTile: 4}); err != nil {
+				t.Fatalf("%s/%v: %v", s.Name, sc, err)
+			}
+			if r := verify.Grids1D(g, ref); !r.Equal {
+				t.Fatalf("%s/%v: %v", s.Name, sc, r.Error(sc.String()))
+			}
+		}
+	}
+}
+
+// TestAllSchemesAgree2D does the same for the three 2D kernels.
+func TestAllSchemesAgree2D(t *testing.T) {
+	eng := NewEngine(4)
+	defer eng.Close()
+	for _, s := range []*Stencil{Heat2D, Box2D9, Life} {
+		base := NewGrid2D(48, 52, 1, 1)
+		rng := rand.New(rand.NewSource(6))
+		if s == Life {
+			base.Fill(func(x, y int) float64 { return float64(rng.Intn(2)) })
+		} else {
+			base.Fill(func(x, y int) float64 { return rng.Float64() })
+		}
+		ref := base.Clone()
+		if err := eng.Run2D(ref, s, 14, Options{Scheme: Naive}); err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range schemes2D {
+			g := base.Clone()
+			if err := eng.Run2D(g, s, 14, Options{Scheme: sc, TimeTile: 3}); err != nil {
+				t.Fatalf("%s/%v: %v", s.Name, sc, err)
+			}
+			if r := verify.Grids2D(g, ref); !r.Equal {
+				t.Fatalf("%s/%v: %v", s.Name, sc, r.Error(sc.String()))
+			}
+		}
+	}
+}
+
+// TestAllSchemesAgree3D does the same for the 3D kernels.
+func TestAllSchemesAgree3D(t *testing.T) {
+	eng := NewEngine(4)
+	defer eng.Close()
+	for _, s := range []*Stencil{Heat3D, Box3D27} {
+		base := NewGrid3D(20, 18, 22, 1, 1, 1)
+		rng := rand.New(rand.NewSource(7))
+		base.Fill(func(x, y, z int) float64 { return rng.Float64() })
+		ref := base.Clone()
+		if err := eng.Run3D(ref, s, 7, Options{Scheme: Naive}); err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range schemes3D {
+			g := base.Clone()
+			if err := eng.Run3D(g, s, 7, Options{Scheme: sc, TimeTile: 2}); err != nil {
+				t.Fatalf("%s/%v: %v", s.Name, sc, err)
+			}
+			if r := verify.Grids3D(g, ref); !r.Equal {
+				t.Fatalf("%s/%v: %v", s.Name, sc, r.Error(sc.String()))
+			}
+		}
+	}
+}
+
+func TestDefaultOptionsAreTessellation(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	g := NewGrid2D(40, 40, 1, 1)
+	rng := rand.New(rand.NewSource(8))
+	g.Fill(func(x, y int) float64 { return rng.Float64() })
+	ref := g.Clone()
+	if err := eng.Run2D(g, Heat2D, 10, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run2D(ref, Heat2D, 10, Options{Scheme: Naive}); err != nil {
+		t.Fatal(err)
+	}
+	if r := verify.Grids2D(g, ref); !r.Equal {
+		t.Fatal(r.Error("default-options"))
+	}
+}
+
+func TestNoMergeAblation(t *testing.T) {
+	eng := NewEngine(3)
+	defer eng.Close()
+	g := NewGrid2D(36, 36, 1, 1)
+	rng := rand.New(rand.NewSource(9))
+	g.Fill(func(x, y int) float64 { return rng.Float64() })
+	merged := g.Clone()
+	if err := eng.Run2D(g, Heat2D, 9, Options{TimeTile: 3, NoMerge: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run2D(merged, Heat2D, 9, Options{TimeTile: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if r := verify.Grids2D(g, merged); !r.Equal {
+		t.Fatal(r.Error("merge-ablation"))
+	}
+}
+
+func TestRunNDThroughPublicAPI(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	s := NewStar(4, 1)
+	g := NewNDGrid([]int{6, 6, 6, 6}, []int{1, 1, 1, 1})
+	rng := rand.New(rand.NewSource(10))
+	g.Fill(func(c []int) float64 { return rng.Float64() })
+	if err := eng.RunND(g, s, 3, Options{TimeTile: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunND(g, s, 3, Options{Scheme: Diamond}); err == nil {
+		t.Fatal("non-tessellation ND scheme should be rejected")
+	}
+}
+
+func TestSchemeNamesRoundTrip(t *testing.T) {
+	for _, sc := range Schemes() {
+		got, err := SchemeByName(sc.String())
+		if err != nil || got != sc {
+			t.Fatalf("SchemeByName(%q) = %v, %v", sc.String(), got, err)
+		}
+	}
+	if _, err := SchemeByName("bogus"); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	eng := NewEngine(1)
+	defer eng.Close()
+	g := NewGrid1D(20, 1)
+	if err := eng.Run1D(g, Heat1D, -1, Options{}); err == nil {
+		t.Error("negative steps accepted")
+	}
+	if err := eng.Run1D(g, Heat1D, 2, Options{Scheme: MWD}); err == nil {
+		t.Error("MWD in 1D accepted")
+	}
+	if err := eng.Run1D(g, Heat1D, 2, Options{Scheme: Scheme(99)}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	g2 := NewGrid2D(20, 20, 1, 1)
+	if err := eng.Run2D(g2, Heat1D, 2, Options{}); err == nil {
+		t.Error("1D kernel on 2D grid accepted")
+	}
+}
+
+func TestEngineThreadCount(t *testing.T) {
+	eng := NewEngine(3)
+	defer eng.Close()
+	if eng.Threads() != 3 {
+		t.Fatalf("Threads() = %d, want 3", eng.Threads())
+	}
+	def := NewEngine(0)
+	defer def.Close()
+	if def.Threads() < 1 {
+		t.Fatal("default engine has no workers")
+	}
+}

@@ -1,0 +1,77 @@
+package tessellate
+
+import (
+	"math/rand"
+	"testing"
+
+	"tessellate/internal/verify"
+)
+
+// A variable-coefficient kernel has the plain 5-point dependence
+// footprint, so every scheme must schedule it correctly and produce
+// bitwise-identical fields — the schedules care about the footprint,
+// not the arithmetic.
+func TestVarCoefUnderAllSchemes(t *testing.T) {
+	const nx, ny = 44, 38
+	base := NewGrid2D(nx, ny, 1, 1)
+	rng := rand.New(rand.NewSource(31))
+	base.Fill(func(x, y int) float64 { return rng.Float64() * 10 })
+	base.SetBoundary(0)
+
+	// A conductive channel through an insulating medium.
+	kappa := make([]float64, len(base.Buf[0]))
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			if y > ny/3 && y < 2*ny/3 {
+				kappa[base.Idx(x, y)] = 1
+			} else {
+				kappa[base.Idx(x, y)] = 0.05
+			}
+		}
+	}
+	spec := NewVarCoef2D(kappa)
+
+	eng := NewEngine(3)
+	defer eng.Close()
+	ref := base.Clone()
+	if err := eng.Run2D(ref, spec, 12, Options{Scheme: Naive}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []Scheme{Tessellation, SpaceTiled, Skewed, Diamond, Oblivious, MWD} {
+		g := base.Clone()
+		if err := eng.Run2D(g, spec, 12, Options{Scheme: sc, TimeTile: 3}); err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if r := verify.Grids2D(g, ref); !r.Equal {
+			t.Fatalf("%v: %v", sc, r.Error("varcoef"))
+		}
+	}
+
+	// Physics: heat must spread along the conductive channel faster
+	// than across the insulator. Compare variance drop inside/outside.
+	insideSpread, outsideSpread := spread(ref, func(y int) bool { return y > ny/3 && y < 2*ny/3 }),
+		spread(ref, func(y int) bool { return y <= ny/3 || y >= 2*ny/3 })
+	baseIn, baseOut := spread(base, func(y int) bool { return y > ny/3 && y < 2*ny/3 }),
+		spread(base, func(y int) bool { return y <= ny/3 || y >= 2*ny/3 })
+	if (baseIn-insideSpread)/baseIn <= (baseOut-outsideSpread)/baseOut {
+		t.Error("conductive channel did not smooth faster than insulator")
+	}
+}
+
+// spread returns the field variance over the selected rows.
+func spread(g *Grid2D, sel func(y int) bool) float64 {
+	var sum, sum2, n float64
+	for x := 0; x < g.NX; x++ {
+		for y := 0; y < g.NY; y++ {
+			if !sel(y) {
+				continue
+			}
+			v := g.At(x, y)
+			sum += v
+			sum2 += v * v
+			n++
+		}
+	}
+	mean := sum / n
+	return sum2/n - mean*mean
+}
