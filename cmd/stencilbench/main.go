@@ -12,6 +12,25 @@
 //	stencilbench -concurrency          # barriers & parallelism per scheme
 //	stencilbench -paper -fig 8         # full paper problem sizes (hours!)
 //	stencilbench -threads 1,2,4,8      # thread sweep points
+//
+// Observability (see DESIGN.md §Observability):
+//
+//	stencilbench -fig 10 -telemetry :8080   # serve /metrics, /trace, /debug/pprof
+//	stencilbench -fig 11a -trace out.json   # dump a Chrome trace of the run
+//
+// Flag matrix — exactly one mode flag per invocation, and the
+// modifiers each mode accepts:
+//
+//	mode          | -scale/-paper  -threads  -csv  -telemetry/-trace
+//	-list         |      no           no      no         no
+//	-fig <one>    |     yes          yes     yes        yes
+//	-fig all      |     yes          yes      no        yes
+//	-ablate       |     yes          yes      no        yes
+//	-concurrency  |     yes           no      no        yes
+//
+// -csv needs a single -fig to name the measurement sweep it exports;
+// combining it with -list, -ablate, -concurrency or -fig all is an
+// error rather than a silent no-op.
 package main
 
 import (
@@ -24,6 +43,7 @@ import (
 	"text/tabwriter"
 
 	"tessellate/internal/bench"
+	"tessellate/internal/telemetry"
 )
 
 func main() {
@@ -35,7 +55,9 @@ func main() {
 		list    = flag.Bool("list", false, "print the Table 4 workloads and exit")
 		ablate  = flag.Bool("ablate", false, "run the ablation study")
 		conc    = flag.Bool("concurrency", false, "print the concurrency/synchronization profile of the schemes")
-		csvOut  = flag.String("csv", "", "write a figure's measurements as CSV to this file (with -fig)")
+		csvOut  = flag.String("csv", "", "write a figure's measurements as CSV to this file (requires a single -fig)")
+		telAddr = flag.String("telemetry", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. :8080) and enable instrumentation")
+		traceTo = flag.String("trace", "", "write a Chrome trace_event JSON dump of the run to this file (enables instrumentation)")
 	)
 	flag.Parse()
 
@@ -45,6 +67,21 @@ func main() {
 	ths, err := parseThreads(*threads)
 	if err != nil {
 		fatal(err)
+	}
+	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc) {
+		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency or -fig all"))
+	}
+
+	if *telAddr != "" || *traceTo != "" {
+		telemetry.Enable()
+	}
+	if *telAddr != "" {
+		srv, err := telemetry.Serve(*telAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics /trace /debug/pprof\n", srv.Addr())
 	}
 
 	switch {
@@ -95,6 +132,20 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.DefaultTracer.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceTo)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"tessellate"
 	"tessellate/internal/autotune"
+	"tessellate/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +28,18 @@ func main() {
 		trials  = flag.Int("trials", 24, "maximum timed candidates")
 		steps   = flag.Int("steps", 32, "minimum steps per trial")
 		threads = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+		telAddr = flag.String("telemetry", "", "serve /metrics, /trace and /debug/pprof on this address while tuning")
 	)
 	flag.Parse()
+
+	if *telAddr != "" {
+		srv, err := telemetry.Serve(*telAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", srv.Addr())
+	}
 
 	spec, err := tessellate.StencilByName(*kernel)
 	if err != nil {

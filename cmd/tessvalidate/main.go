@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"tessellate/internal/core"
+	"tessellate/internal/telemetry"
 )
 
 func main() {
@@ -33,8 +34,18 @@ func main() {
 		noMerge = flag.Bool("nomerge", false, "validate the unmerged (d+1 sync) schedule")
 		fuzz    = flag.Int("fuzz", 0, "validate this many random configurations instead")
 		seed    = flag.Int64("seed", 1, "fuzz seed")
+		telAddr = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address while validating (profile long fuzz runs)")
 	)
 	flag.Parse()
+
+	if *telAddr != "" {
+		srv, err := telemetry.Serve(*telAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", srv.Addr())
+	}
 
 	if *fuzz > 0 {
 		if err := fuzzConfigs(*fuzz, *seed); err != nil {

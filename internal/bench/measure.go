@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"tessellate"
@@ -10,6 +11,7 @@ import (
 	"tessellate/internal/core"
 	"tessellate/internal/grid"
 	"tessellate/internal/stencil"
+	"tessellate/internal/telemetry"
 )
 
 // Measurement is one (workload, scheme, threads) timing sample.
@@ -69,7 +71,7 @@ func Run(w Workload, scheme tessellate.Scheme, threads int) (Measurement, error)
 	}
 	secs := time.Since(start).Seconds()
 	updates := float64(w.Updates())
-	return Measurement{
+	m := Measurement{
 		Workload: w.String(),
 		Kernel:   w.Kernel,
 		Scheme:   scheme.String(),
@@ -78,7 +80,26 @@ func Run(w Workload, scheme tessellate.Scheme, threads int) (Measurement, error)
 		MUpdates: updates / secs / 1e6,
 		GFlops:   updates * float64(spec.Flops) / secs / 1e9,
 		Checksum: sum(),
-	}, nil
+	}
+	m.export(start)
+	return m, nil
+}
+
+// export publishes the measurement to the telemetry registry and
+// tracer, so long stencilbench runs are scrapeable in flight.
+func (m *Measurement) export(start time.Time) {
+	if !telemetry.Enabled() {
+		return
+	}
+	th := strconv.Itoa(m.Threads)
+	telemetry.BenchSeconds.Gauge(m.Workload, m.Scheme, th).Set(m.Seconds)
+	telemetry.BenchMUpdates.Gauge(m.Workload, m.Scheme, th).Set(m.MUpdates)
+	telemetry.BenchGFlops.Gauge(m.Workload, m.Scheme, th).Set(m.GFlops)
+	telemetry.BenchMeasurements.Inc()
+	telemetry.DefaultTracer.RecordSpan(telemetry.Event{
+		Name: m.Workload + "/" + m.Scheme, Cat: "bench",
+		TID: m.Threads, Phase: -1, Stage: -1,
+	}, start)
 }
 
 // ThreadSweep measures every scheme at every thread count, the shape of

@@ -21,18 +21,25 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 		return err
 	}
 	h := g.H
-	for _, r := range cfg.Regions(steps) {
+	for ri, r := range cfg.Regions(steps) {
 		r := r
+		sp := beginRegion()
 		pool.For(len(r.Blocks), func(bi int) {
 			b := &r.Blocks[bi]
 			var lo, hi [1]int
+			var pts int64
 			for t := r.T0; t < r.T1; t++ {
 				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
 					continue
 				}
+				if sp != nil {
+					pts += boxVolume(lo[:], hi[:])
+				}
 				s.K1(g.Buf[(t+1)&1], g.Buf[t&1], lo[0]+h, hi[0]+h)
 			}
+			sp.addPoints(pts)
 		})
+		sp.end(cfg, &r, ri)
 	}
 	g.Step += steps
 	return nil
@@ -50,14 +57,19 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.NX, g.NY}, s.Slopes); err != nil {
 		return err
 	}
-	for _, r := range cfg.Regions(steps) {
+	for ri, r := range cfg.Regions(steps) {
 		r := r
+		sp := beginRegion()
 		pool.For(len(r.Blocks), func(bi int) {
 			b := &r.Blocks[bi]
 			var lo, hi [2]int
+			var pts int64
 			for t := r.T0; t < r.T1; t++ {
 				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
 					continue
+				}
+				if sp != nil {
+					pts += boxVolume(lo[:], hi[:])
 				}
 				dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
 				n := hi[1] - lo[1]
@@ -67,7 +79,9 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 					base += g.SY
 				}
 			}
+			sp.addPoints(pts)
 		})
+		sp.end(cfg, &r, ri)
 	}
 	g.Step += steps
 	return nil
@@ -85,14 +99,19 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.NX, g.NY, g.NZ}, s.Slopes); err != nil {
 		return err
 	}
-	for _, r := range cfg.Regions(steps) {
+	for ri, r := range cfg.Regions(steps) {
 		r := r
+		sp := beginRegion()
 		pool.For(len(r.Blocks), func(bi int) {
 			b := &r.Blocks[bi]
 			var lo, hi [3]int
+			var pts int64
 			for t := r.T0; t < r.T1; t++ {
 				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
 					continue
+				}
+				if sp != nil {
+					pts += boxVolume(lo[:], hi[:])
 				}
 				dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
 				n := hi[2] - lo[2]
@@ -106,7 +125,9 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 					xBase += g.SX
 				}
 			}
+			sp.addPoints(pts)
 		})
+		sp.end(cfg, &r, ri)
 	}
 	g.Step += steps
 	return nil
@@ -131,16 +152,21 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 	}
 	flat := gs.FlatOffsets(g.Strides)
 	d := g.D()
-	for _, r := range cfg.Regions(steps) {
+	for ri, r := range cfg.Regions(steps) {
 		r := r
+		sp := beginRegion()
 		pool.For(len(r.Blocks), func(bi int) {
 			b := &r.Blocks[bi]
 			lo := make([]int, d)
 			hi := make([]int, d)
 			p := make([]int, d)
+			var pts int64
 			for t := r.T0; t < r.T1; t++ {
 				if !cfg.ClippedBounds(&r, b, t, lo, hi) {
 					continue
+				}
+				if sp != nil {
+					pts += boxVolume(lo, hi)
 				}
 				dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
 				copy(p, lo)
@@ -159,7 +185,9 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 					}
 				}
 			}
+			sp.addPoints(pts)
 		})
+		sp.end(cfg, &r, ri)
 	}
 	g.Step += steps
 	return nil

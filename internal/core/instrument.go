@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"tessellate/internal/telemetry"
+)
+
+// regionSpan accumulates observability data for one parallel region.
+// Executors create one per region only while telemetry is enabled, so
+// the disabled hot path pays a single branch per region.
+type regionSpan struct {
+	start  time.Time
+	points int64 // atomically accumulated by block closures
+}
+
+// beginRegion starts a span when telemetry is enabled, else returns
+// nil; all methods are nil-safe.
+func beginRegion() *regionSpan {
+	if !telemetry.Enabled() {
+		return nil
+	}
+	return &regionSpan{start: time.Now()}
+}
+
+// addPoints accumulates point updates; safe for concurrent block
+// closures and on a nil span.
+func (sp *regionSpan) addPoints(n int64) {
+	if sp == nil {
+		return
+	}
+	atomic.AddInt64(&sp.points, n)
+}
+
+// end records the region's metrics and trace event. index is the
+// region's position in the run's schedule.
+func (sp *regionSpan) end(cfg *Config, r *Region, index int) {
+	if sp == nil {
+		return
+	}
+	kind := "stage"
+	if r.Diamond {
+		kind = "diamond"
+	}
+	telemetry.StageDuration.Histogram(kind).Observe(time.Since(sp.start).Seconds())
+	telemetry.BlocksExecuted.Add(uint64(len(r.Blocks)))
+	telemetry.PointsUpdated.Add(uint64(sp.points))
+	telemetry.DefaultTracer.RecordSpan(telemetry.Event{
+		Name:   kind,
+		Cat:    "core",
+		Phase:  int64(r.Ref / cfg.BT),
+		Stage:  int64(index),
+		Blocks: int64(len(r.Blocks)),
+		Points: sp.points,
+	}, sp.start)
+}
+
+// boxVolume returns the point count of the axis-aligned box [lo, hi).
+func boxVolume(lo, hi []int) int64 {
+	v := int64(1)
+	for k := range lo {
+		v *= int64(hi[k] - lo[k])
+	}
+	return v
+}

@@ -2,11 +2,14 @@ package dist
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
 	"tessellate/internal/core"
 	"tessellate/internal/grid"
 	"tessellate/internal/par"
 	"tessellate/internal/stencil"
+	"tessellate/internal/telemetry"
 )
 
 // Partition describes one rank's share of the global x range.
@@ -198,6 +201,19 @@ func (r *Rank) exchange() error {
 	if r.NRanks == 1 {
 		return nil
 	}
+	if telemetry.Enabled() {
+		start := time.Now()
+		err := r.exchangeStrips()
+		telemetry.DistExchangeSeconds.Observe(time.Since(start).Seconds())
+		telemetry.DefaultTracer.RecordSpan(telemetry.Event{
+			Name: "exchange", Cat: "dist", TID: r.ID, Phase: -1, Stage: -1,
+		}, start)
+		return err
+	}
+	return r.exchangeStrips()
+}
+
+func (r *Rank) exchangeStrips() error {
 	left, right := r.ID-1, r.ID+1
 	if r.ID%2 == 0 {
 		if right < r.NRanks {
@@ -252,6 +268,7 @@ func (r *Rank) sendStrip(peer int, rightSide bool) error {
 	r.pack(gx0)
 	r.MessagesSent++
 	r.FloatsSent += int64(len(r.strip))
+	countTransfer("send", peer, len(r.strip))
 	return r.tr.Send(peer, r.strip)
 }
 
@@ -260,12 +277,25 @@ func (r *Rank) recvStrip(peer int, rightSide bool) error {
 	if err := r.tr.Recv(peer, r.strip); err != nil {
 		return err
 	}
+	countTransfer("recv", peer, len(r.strip))
 	gx0 := r.part.X0 - r.h // halo below territory
 	if rightSide {
 		gx0 = r.part.X1 // halo above territory
 	}
 	r.unpack(gx0)
 	return nil
+}
+
+// countTransfer records one strip transfer (floats floats of payload)
+// in the per-peer byte and message counters. Exchanges are per-region,
+// so the label lookup is far off the point-update hot path.
+func countTransfer(dir string, peer, floats int) {
+	if !telemetry.Enabled() {
+		return
+	}
+	p := strconv.Itoa(peer)
+	telemetry.DistBytes.Counter(dir, p).Add(uint64(8 * floats))
+	telemetry.DistMessages.Counter(dir, p).Inc()
 }
 
 func (r *Rank) pack(gx0 int) {

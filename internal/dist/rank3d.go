@@ -2,11 +2,13 @@ package dist
 
 import (
 	"fmt"
+	"time"
 
 	"tessellate/internal/core"
 	"tessellate/internal/grid"
 	"tessellate/internal/par"
 	"tessellate/internal/stencil"
+	"tessellate/internal/telemetry"
 )
 
 // Rank3D executes one share of a distributed 3D tessellation run,
@@ -144,6 +146,19 @@ func (r *Rank3D) exchange() error {
 	if r.NRanks == 1 {
 		return nil
 	}
+	if telemetry.Enabled() {
+		start := time.Now()
+		err := r.exchangeStrips()
+		telemetry.DistExchangeSeconds.Observe(time.Since(start).Seconds())
+		telemetry.DefaultTracer.RecordSpan(telemetry.Event{
+			Name: "exchange", Cat: "dist", TID: r.ID, Phase: -1, Stage: -1,
+		}, start)
+		return err
+	}
+	return r.exchangeStrips()
+}
+
+func (r *Rank3D) exchangeStrips() error {
 	left, right := r.ID-1, r.ID+1
 	order := []struct {
 		peer      int
@@ -184,6 +199,7 @@ func (r *Rank3D) sendStrip(peer int, rightSide bool) error {
 	r.copyStrip(gx0, true)
 	r.MessagesSent++
 	r.FloatsSent += int64(len(r.strip))
+	countTransfer("send", peer, len(r.strip))
 	return r.tr.Send(peer, r.strip)
 }
 
@@ -191,6 +207,7 @@ func (r *Rank3D) recvStrip(peer int, rightSide bool) error {
 	if err := r.tr.Recv(peer, r.strip); err != nil {
 		return err
 	}
+	countTransfer("recv", peer, len(r.strip))
 	gx0 := r.part.X0 - r.h
 	if rightSide {
 		gx0 = r.part.X1

@@ -1,0 +1,106 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitGoroutines waits for the goroutine count to drop back to the
+// baseline (worker teardown is asynchronous after Close).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d running, baseline was %d", runtime.NumGoroutine(), base)
+}
+
+// For with an empty trip count must not touch the job queue, must not
+// run the body, and the pool must tear down cleanly afterwards.
+func TestPoolForZeroIterations(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := NewPool(4)
+	var ran atomic.Int32
+	for i := 0; i < 100; i++ {
+		p.For(0, func(int) { ran.Add(1) })
+		p.For(-3, func(int) { ran.Add(1) })
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("body ran %d times for n<=0", got)
+	}
+	p.Close()
+	waitGoroutines(t, base)
+}
+
+// n=1 takes the serial fast path: exactly one call, on the caller's
+// goroutine, no worker dispatch, and no goroutine leak.
+func TestPoolForSingleIteration(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := NewPool(4)
+	var ran atomic.Int32
+	var gotIdx atomic.Int32
+	gotIdx.Store(-1)
+	for i := 0; i < 100; i++ {
+		ran.Store(0)
+		p.For(1, func(i int) { ran.Add(1); gotIdx.Store(int32(i)) })
+		if got := ran.Load(); got != 1 {
+			t.Fatalf("body ran %d times for n=1", got)
+		}
+		if gotIdx.Load() != 0 {
+			t.Fatalf("n=1 body saw index %d, want 0", gotIdx.Load())
+		}
+	}
+	p.Close()
+	waitGoroutines(t, base)
+}
+
+// Limiter with n < 1 must degrade to a purely serial limiter: every
+// function still runs exactly once and nothing leaks.
+func TestLimiterBelowOne(t *testing.T) {
+	for _, n := range []int{-5, 0, 1} {
+		base := runtime.NumGoroutine()
+		l := NewLimiter(n)
+		var ran atomic.Int32
+		l.Par()
+		l.Par(func() { ran.Add(1) })
+		l.Par(
+			func() { ran.Add(1) },
+			func() { ran.Add(1) },
+			func() { ran.Add(1) },
+		)
+		if got := ran.Load(); got != 4 {
+			t.Fatalf("NewLimiter(%d): %d fns ran, want 4", n, got)
+		}
+		waitGoroutines(t, base)
+	}
+}
+
+// A serial limiter must also survive nested Par calls without
+// deadlocking (all forks run inline).
+func TestLimiterSerialNestedPar(t *testing.T) {
+	l := NewLimiter(0)
+	var ran atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		l.Par(
+			func() { l.Par(func() { ran.Add(1) }, func() { ran.Add(1) }) },
+			func() { ran.Add(1) },
+		)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("nested Par on a serial limiter deadlocked")
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("%d fns ran, want 3", got)
+	}
+}

@@ -11,6 +11,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"tessellate/internal/telemetry"
 )
 
 // Pool is a fixed-size worker pool. A Pool is reused across many For
@@ -75,11 +78,22 @@ func (p *Pool) ForChunked(n, chunk int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
+	// Telemetry is sampled once per region; traced is false in the
+	// common disabled case and the guards below cost one branch each.
+	traced := telemetry.Enabled()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+		telemetry.PoolForSize.Observe(float64(n))
+	}
 	// Serial fast path: a single worker (or tiny trip count) should not
 	// bounce through channels at all.
 	if p.workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			body(i)
+		}
+		if traced {
+			telemetry.PoolForSeconds.Observe(time.Since(t0).Seconds())
 		}
 		return
 	}
@@ -97,6 +111,10 @@ func (p *Pool) ForChunked(n, chunk int, body func(i int)) {
 	p.wg.Add(runners)
 	for w := 0; w < runners; w++ {
 		p.jobs <- func(int) {
+			if traced {
+				telemetry.PoolWorkersBusy.Add(1)
+				defer telemetry.PoolWorkersBusy.Add(-1)
+			}
 			for {
 				start := int(next.Add(int64(chunk))) - chunk
 				if start >= n {
@@ -112,7 +130,14 @@ func (p *Pool) ForChunked(n, chunk int, body func(i int)) {
 			}
 		}
 	}
+	if traced {
+		// All runners are in workers' hands: the dispatch latency.
+		telemetry.PoolDispatchSeconds.Observe(time.Since(t0).Seconds())
+	}
 	p.wg.Wait()
+	if traced {
+		telemetry.PoolForSeconds.Observe(time.Since(t0).Seconds())
+	}
 }
 
 // Run executes fn(w) once for each worker id w in [0, Workers())

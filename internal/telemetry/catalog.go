@@ -1,0 +1,105 @@
+package telemetry
+
+// The canonical metric catalog. Every instrumented layer records into
+// these handles; declaring them here (rather than in par/core/dist)
+// keeps the namespace in one place, avoids import cycles, and makes
+// every family visible in an exposition even before it has samples.
+//
+// Naming follows Prometheus conventions: tess_ prefix, base units
+// (seconds, bytes), _total suffix on counters.
+
+// Bucket shapes: durations from 100 ns to ~27 s, sizes from 1 to ~16M.
+var (
+	// DurationBuckets covers 100ns..~27s in powers of four.
+	DurationBuckets = ExpBuckets(1e-7, 4, 15)
+	// SizeBuckets covers 1..~16.7M in powers of four.
+	SizeBuckets = ExpBuckets(1, 4, 13)
+)
+
+// internal/par — the worker-pool substrate.
+var (
+	// PoolDispatchSeconds is the time Pool.For spends handing chunk
+	// runners to workers (channel sends), i.e. dispatch latency.
+	PoolDispatchSeconds = Default.NewHistogramFamily(
+		"tess_pool_dispatch_seconds",
+		"Time Pool.For spends dispatching chunk runners to pool workers.",
+		DurationBuckets).Histogram()
+	// PoolForSeconds is the full wall time of each Pool.For region.
+	PoolForSeconds = Default.NewHistogramFamily(
+		"tess_pool_for_seconds",
+		"Wall time of each Pool.For parallel region, dispatch through completion.",
+		DurationBuckets).Histogram()
+	// PoolForSize is the iteration count n of each Pool.For call.
+	PoolForSize = Default.NewHistogramFamily(
+		"tess_pool_for_size",
+		"Iteration count (number of blocks) of each Pool.For parallel region.",
+		SizeBuckets).Histogram()
+	// PoolWorkersBusy is the number of pool workers currently running a
+	// job (worker occupancy).
+	PoolWorkersBusy = Default.NewGauge(
+		"tess_pool_workers_busy",
+		"Pool workers currently executing a parallel-for job.").Gauge()
+)
+
+// internal/core — the tessellation executors.
+var (
+	// StageDuration has one histogram per region kind: "stage" for the
+	// expand/shrink stages, "diamond" for merged B_d+B_0 regions.
+	StageDuration = Default.NewHistogramFamily(
+		"tess_stage_duration_seconds",
+		"Wall time of each tessellation parallel region, by region kind.",
+		DurationBuckets, "kind")
+	// BlocksExecuted counts blocks scheduled across all regions.
+	BlocksExecuted = Default.NewCounter(
+		"tess_blocks_executed_total",
+		"Tessellation blocks executed across all parallel regions.").Counter()
+	// PointsUpdated counts grid point updates performed by the
+	// tessellation executors.
+	PointsUpdated = Default.NewCounter(
+		"tess_points_updated_total",
+		"Grid point updates performed by the tessellation executors.").Counter()
+)
+
+// internal/dist — distributed-memory exchange.
+var (
+	// DistBytes counts exchanged payload bytes by direction and peer.
+	DistBytes = Default.NewCounter(
+		"tess_dist_bytes_total",
+		"Halo-exchange payload bytes, by direction (send/recv) and peer rank.",
+		"dir", "peer")
+	// DistMessages counts exchanged messages by direction and peer.
+	DistMessages = Default.NewCounter(
+		"tess_dist_messages_total",
+		"Halo-exchange messages, by direction (send/recv) and peer rank.",
+		"dir", "peer")
+	// DistExchangeSeconds is the wall time of each per-region halo
+	// exchange (both neighbours, both parity buffers).
+	DistExchangeSeconds = Default.NewHistogramFamily(
+		"tess_dist_exchange_seconds",
+		"Wall time of each per-region halo exchange.",
+		DurationBuckets).Histogram()
+)
+
+// internal/bench — the measurement harness, so stencilbench runs are
+// scrapeable in flight.
+var (
+	benchLabels = []string{"workload", "scheme", "threads"}
+	// BenchSeconds is the wall time of the latest finished measurement.
+	BenchSeconds = Default.NewGauge(
+		"tess_bench_seconds",
+		"Wall time of the most recent benchmark measurement.", benchLabels...)
+	// BenchMUpdates is the throughput of the latest finished
+	// measurement in millions of point updates per second.
+	BenchMUpdates = Default.NewGauge(
+		"tess_bench_mupdates",
+		"Throughput of the most recent benchmark measurement, in million point updates/s.", benchLabels...)
+	// BenchGFlops is the floating-point throughput of the latest
+	// finished measurement.
+	BenchGFlops = Default.NewGauge(
+		"tess_bench_gflops",
+		"Floating-point throughput of the most recent benchmark measurement, in GFLOP/s.", benchLabels...)
+	// BenchMeasurements counts finished benchmark measurements.
+	BenchMeasurements = Default.NewCounter(
+		"tess_bench_measurements_total",
+		"Benchmark measurements completed.").Counter()
+)

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Write renders every registered family in the Prometheus text
+// exposition format (version 0.0.4). Families are emitted in
+// registration order, children in creation order, so scrapes are
+// stable. Labelled families with no children yet still emit their
+// HELP/TYPE header so the full namespace is discoverable.
+func (r *Registry) Write(w io.Writer) error {
+	for _, f := range r.Families() {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Family) write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.Name, escapeHelp(f.Help), f.Name, f.Kind); err != nil {
+		return err
+	}
+	keys, children := f.snapshot()
+	for i, c := range children {
+		lbl := formatLabels(f.Labels, keys[i])
+		switch m := c.(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, lbl, m.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", f.Name, lbl, m.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := writeHistogram(w, f.Name, f.Labels, keys[i], m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, labels, values []string, h *Histogram) error {
+	bounds := h.Bounds()
+	counts := h.BucketCounts()
+	// Copy before appending "le": the label slices are shared with the
+	// family and may be rendered by concurrent scrapes.
+	ln := append(append(make([]string, 0, len(labels)+1), labels...), "le")
+	lv := append(make([]string, 0, len(values)+1), values...)
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		lbl := formatLabels(ln, append(lv, fmt.Sprintf("%g", b)))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, lbl, cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	lbl := formatLabels(ln, append(lv, "+Inf"))
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, lbl, cum); err != nil {
+		return err
+	}
+	base := formatLabels(labels, values)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, base, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, base, h.Count())
+	return err
+}
+
+// formatLabels renders {k1="v1",k2="v2"} or "" for no labels.
+func formatLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

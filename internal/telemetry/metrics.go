@@ -1,0 +1,339 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric families a Registry holds.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing integer count.
+	KindCounter Kind = iota
+	// KindGauge is a float64 value that may go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution of float64 samples.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; a nil Counter drops writes, as does a disabled subsystem.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op when nil or disabled.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op when nil or disabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (readable even while disabled).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value (stored as IEEE-754 bits in
+// a uint64). A nil Gauge drops writes, as does a disabled subsystem.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op when nil or disabled.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (which may be negative) with a CAS loop. No-op when
+// nil or disabled.
+func (g *Gauge) Add(delta float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (readable even while disabled).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Buckets hold counts of
+// samples <= the corresponding upper bound; one implicit +Inf bucket
+// catches the rest. Sum is accumulated with a CAS loop so Observe is
+// lock-free. A nil Histogram drops writes, as does a disabled
+// subsystem.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds (exclusive of +Inf)
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns a standalone histogram with the given ascending
+// upper bounds (a copy is taken). Most callers get histograms from a
+// Family instead.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample. No-op when nil or disabled.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	h.observe(v)
+}
+
+// observe is the enabled slow path, kept out of Observe so the
+// disabled gate stays within the compiler's inlining budget.
+func (h *Histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the last
+// entry is the +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// ExpBuckets returns n exponential bucket bounds start, start*factor,
+// start*factor², ... — the standard shape for latencies and sizes.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Family is one named metric family: a set of children (one per label
+// value combination) of a single kind. Unlabelled families hold
+// exactly one child, pre-created at registration so it is always
+// present in expositions.
+type Family struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []string
+
+	bounds []float64 // histogram families only
+
+	mu       sync.RWMutex
+	children map[string]any
+	order    []string // insertion order, for stable exposition
+}
+
+const labelSep = "\x1f"
+
+func (f *Family) key(lvs []string) string {
+	if len(lvs) != len(f.Labels) {
+		panic(fmt.Sprintf("telemetry: %s has %d labels, got %d values", f.Name, len(f.Labels), len(lvs)))
+	}
+	return strings.Join(lvs, labelSep)
+}
+
+func (f *Family) child(lvs []string) any {
+	k := f.key(lvs)
+	f.mu.RLock()
+	c, ok := f.children[k]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[k]; ok {
+		return c
+	}
+	var c2 any
+	switch f.Kind {
+	case KindCounter:
+		c2 = new(Counter)
+	case KindGauge:
+		c2 = new(Gauge)
+	case KindHistogram:
+		c2 = NewHistogram(f.bounds)
+	}
+	f.children[k] = c2
+	f.order = append(f.order, k)
+	return c2
+}
+
+// Counter returns (creating if needed) the child for the given label
+// values. Hot paths should cache the returned handle.
+func (f *Family) Counter(labelValues ...string) *Counter {
+	if f.Kind != KindCounter {
+		panic("telemetry: " + f.Name + " is not a counter family")
+	}
+	return f.child(labelValues).(*Counter)
+}
+
+// Gauge returns (creating if needed) the child for the given label
+// values.
+func (f *Family) Gauge(labelValues ...string) *Gauge {
+	if f.Kind != KindGauge {
+		panic("telemetry: " + f.Name + " is not a gauge family")
+	}
+	return f.child(labelValues).(*Gauge)
+}
+
+// Histogram returns (creating if needed) the child for the given label
+// values.
+func (f *Family) Histogram(labelValues ...string) *Histogram {
+	if f.Kind != KindHistogram {
+		panic("telemetry: " + f.Name + " is not a histogram family")
+	}
+	return f.child(labelValues).(*Histogram)
+}
+
+// snapshot returns the children in insertion order with their label
+// values.
+func (f *Family) snapshot() (keys [][]string, children []any) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, k := range f.order {
+		if len(f.Labels) == 0 {
+			keys = append(keys, nil)
+		} else {
+			keys = append(keys, strings.Split(k, labelSep))
+		}
+		children = append(children, f.children[k])
+	}
+	return keys, children
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*Family
+	byName map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*Family{}}
+}
+
+// Default is the registry all catalog metrics register into and the
+// one the HTTP exposition serves.
+var Default = NewRegistry()
+
+func (r *Registry) register(name, help string, kind Kind, bounds []float64, labels []string) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.Kind != kind {
+			panic("telemetry: " + name + " re-registered with different kind")
+		}
+		return f
+	}
+	f := &Family{
+		Name: name, Help: help, Kind: kind,
+		Labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: map[string]any{},
+	}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	if len(labels) == 0 {
+		f.child(nil) // pre-create the single child: always exposed
+	}
+	return f
+}
+
+// NewCounter registers (or returns the existing) counter family.
+func (r *Registry) NewCounter(name, help string, labels ...string) *Family {
+	return r.register(name, help, KindCounter, nil, labels)
+}
+
+// NewGauge registers (or returns the existing) gauge family.
+func (r *Registry) NewGauge(name, help string, labels ...string) *Family {
+	return r.register(name, help, KindGauge, nil, labels)
+}
+
+// NewHistogramFamily registers (or returns the existing) histogram
+// family with the given bucket upper bounds.
+func (r *Registry) NewHistogramFamily(name, help string, bounds []float64, labels ...string) *Family {
+	return r.register(name, help, KindHistogram, bounds, labels)
+}
+
+// Families returns the registered families in registration order.
+func (r *Registry) Families() []*Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Family(nil), r.fams...)
+}

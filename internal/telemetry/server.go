@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the telemetry HTTP mux:
+//
+//	/metrics       Prometheus text exposition of the Default registry
+//	/trace         Chrome trace_event JSON dump of the DefaultTracer
+//	/debug/pprof/  the standard Go profiling endpoints
+func Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default.Write(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = DefaultTracer.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "tessellate telemetry\n\n/metrics\n/trace\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running telemetry HTTP listener; see Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve enables instrumentation and starts an HTTP listener on addr
+// (e.g. ":8080" or "127.0.0.1:0") serving Handler. It returns
+// immediately; Close stops the listener.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	Enable()
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler()}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listener's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and open connections.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,35 @@
+// Package telemetry is the repository's runtime observability
+// subsystem: lock-free counters, gauges and fixed-bucket histograms, a
+// bounded span tracer, Prometheus text-format exposition, a Chrome
+// trace_event JSON dump, and an opt-in HTTP listener that serves
+// /metrics, /trace and /debug/pprof.
+//
+// The subsystem is off by default and costs almost nothing while off:
+// every write operation is nil-safe and gated on a single package-level
+// atomic flag, so instrumented hot paths pay one predictable branch
+// (< 2 ns/op, see BenchmarkDisabled*) until Enable is called. Callers
+// that need to avoid even the cost of building arguments (time.Now,
+// label strings) should guard the call site with Enabled().
+//
+// Metric handles live in the package-level catalog (catalog.go) so
+// that every layer — par, core, dist, bench — records into one
+// registry without import cycles and the full metric namespace is
+// present in every exposition. All metrics use the tess_ prefix.
+package telemetry
+
+import "sync/atomic"
+
+// enabled is the package-level master switch. All metric writes and
+// trace records are dropped while it is false.
+var enabled atomic.Bool
+
+// Enable turns instrumentation on. Safe to call concurrently.
+func Enable() { enabled.Store(true) }
+
+// Disable turns instrumentation off again; handles stay valid and
+// retain their values.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether instrumentation is on. Hot call sites use it
+// to skip argument construction (timestamps, labels) entirely.
+func Enabled() bool { return enabled.Load() }

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one completed span in the phase tracer. TS/Dur are
+// nanoseconds relative to the tracer's epoch; the remaining fields
+// identify what ran: which executor phase and stage, how many blocks
+// the region held, how many grid points it updated, and which lane
+// (worker id, rank id, ...) recorded it.
+type Event struct {
+	Name   string // span name, e.g. "stage", "diamond", "for", "exchange"
+	Cat    string // subsystem category: "core", "par", "dist", "bench"
+	TS     int64  // start, ns since tracer epoch
+	Dur    int64  // duration, ns
+	TID    int    // lane: pool worker id, dist rank id, 0 for the driver
+	Phase  int64  // executor phase number (Ref/BT), -1 if n/a
+	Stage  int64  // region index within the run, -1 if n/a
+	Blocks int64  // blocks in the region, 0 if n/a
+	Points int64  // grid points updated, 0 if n/a
+}
+
+// Tracer records spans into a bounded ring buffer: the most recent
+// capacity events are kept, older ones are overwritten. Writes are
+// dropped while the subsystem is disabled, and a nil Tracer drops
+// everything, so instrumentation can call unconditionally.
+//
+// Span recording is coarse-grained (one event per parallel region /
+// exchange, not per point), so a mutex-guarded ring is cheap relative
+// to the work each span covers while staying exact under -race.
+type Tracer struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	buf     []Event
+	next    int
+	wrapped bool
+}
+
+// DefaultTracer is the tracer all built-in instrumentation records
+// into and the one the HTTP /trace endpoint dumps.
+var DefaultTracer = NewTracer(1 << 14)
+
+// NewTracer returns a tracer keeping the last capacity events
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{epoch: time.Now(), buf: make([]Event, capacity)}
+}
+
+// Reset drops all recorded events and restarts the epoch.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.epoch = time.Now()
+	t.next = 0
+	t.wrapped = false
+	t.mu.Unlock()
+}
+
+// RecordSpan records a span that began at start and ends now. The
+// caller fills the identifying fields of ev; TS and Dur are computed
+// here. No-op when nil or disabled.
+func (t *Tracer) RecordSpan(ev Event, start time.Time) {
+	if t == nil || !enabled.Load() {
+		return
+	}
+	end := time.Now()
+	t.mu.Lock()
+	ev.TS = start.Sub(t.epoch).Nanoseconds()
+	ev.Dur = end.Sub(start).Nanoseconds()
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		return append([]Event(nil), t.buf[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}
+
+// Len returns the number of events currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wrapped {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Chrome trace_event format (the subset chrome://tracing and Perfetto
+// load): complete events ("ph":"X") with microsecond timestamps.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"` // microseconds
+	Dur  float64          `json:"dur"`
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteJSON dumps the recorded spans as Chrome trace_event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev to visualise
+// the stage waves. The dump round-trips through encoding/json.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	evs := t.Events()
+	ct := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(evs))}
+	for _, ev := range evs {
+		ce := chromeEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: "X",
+			TS: float64(ev.TS) / 1e3, Dur: float64(ev.Dur) / 1e3,
+			PID: 1, TID: ev.TID,
+		}
+		args := map[string]int64{}
+		if ev.Phase >= 0 {
+			args["phase"] = ev.Phase
+		}
+		if ev.Stage >= 0 {
+			args["stage"] = ev.Stage
+		}
+		if ev.Blocks > 0 {
+			args["blocks"] = ev.Blocks
+		}
+		if ev.Points > 0 {
+			args["points"] = ev.Points
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsSpans(t *testing.T) {
+	withEnabled(t)
+	tr := NewTracer(16)
+	start := time.Now()
+	tr.RecordSpan(Event{Name: "stage", Cat: "core", Phase: 2, Stage: 5, Blocks: 9, Points: 100}, start)
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Name != "stage" || ev.Cat != "core" || ev.Phase != 2 || ev.Blocks != 9 {
+		t.Fatalf("event fields wrong: %+v", ev)
+	}
+	if ev.Dur < 0 {
+		t.Fatalf("negative duration %d", ev.Dur)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	withEnabled(t)
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.RecordSpan(Event{Name: "s", Stage: int64(i)}, time.Now())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Stage != want {
+			t.Fatalf("event %d has stage %d, want %d (oldest-first order)", i, ev.Stage, want)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tr.Len())
+	}
+}
+
+func TestTracerDisabledDropsSpans(t *testing.T) {
+	was := Enabled()
+	Disable()
+	defer func() {
+		if was {
+			Enable()
+		}
+	}()
+	tr := NewTracer(4)
+	tr.RecordSpan(Event{Name: "s"}, time.Now())
+	if tr.Len() != 0 {
+		t.Fatal("disabled tracer recorded a span")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	withEnabled(t)
+	tr := NewTracer(8)
+	start := time.Now()
+	tr.RecordSpan(Event{Name: "stage", Cat: "core", TID: 3, Phase: 1, Stage: 2, Blocks: 4, Points: 64}, start)
+	tr.RecordSpan(Event{Name: "exchange", Cat: "dist", TID: 0, Phase: -1, Stage: -1}, start)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Cat  string           `json:"cat"`
+			Ph   string           `json:"ph"`
+			TS   float64          `json:"ts"`
+			Dur  float64          `json:"dur"`
+			PID  int              `json:"pid"`
+			TID  int              `json:"tid"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("trace dump does not round-trip through encoding/json: %v", err)
+	}
+	if len(got.TraceEvents) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(got.TraceEvents))
+	}
+	e0 := got.TraceEvents[0]
+	if e0.Name != "stage" || e0.Ph != "X" || e0.TID != 3 {
+		t.Fatalf("first event wrong: %+v", e0)
+	}
+	if e0.Args["phase"] != 1 || e0.Args["blocks"] != 4 || e0.Args["points"] != 64 {
+		t.Fatalf("args wrong: %v", e0.Args)
+	}
+	// The exchange span carries no phase/stage args.
+	if _, ok := got.TraceEvents[1].Args["phase"]; ok {
+		t.Fatalf("n/a phase exported: %v", got.TraceEvents[1].Args)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	was := Enabled()
+	defer func() {
+		if !was {
+			Disable()
+		}
+	}()
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !Enabled() {
+		t.Fatal("Serve did not enable instrumentation")
+	}
+	PointsUpdated.Add(11)
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	for _, fam := range []string{
+		"tess_pool_dispatch_seconds", "tess_stage_duration_seconds",
+		"tess_points_updated_total", "tess_dist_bytes_total",
+	} {
+		if !strings.Contains(metrics, fam) {
+			t.Fatalf("/metrics missing family %s", fam)
+		}
+	}
+
+	trace, _ := get("/trace")
+	var js map[string]any
+	if err := json.Unmarshal([]byte(trace), &js); err != nil {
+		t.Fatalf("/trace is not JSON: %v", err)
+	}
+
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

@@ -1,0 +1,76 @@
+package tessellate_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tessellate"
+)
+
+// The public telemetry facade end to end: enabling instrumentation
+// must not change a single bit of the numerics, and the exposition and
+// trace dump must contain the run that just happened.
+func TestPublicTelemetryFacade(t *testing.T) {
+	run := func() *tessellate.Grid3D {
+		g := tessellate.NewGrid3D(40, 36, 32, 1, 1, 1)
+		g.Fill(func(x, y, z int) float64 { return float64(x+2*y+3*z) / 7 })
+		g.SetBoundary(1)
+		eng := tessellate.NewEngine(3)
+		defer eng.Close()
+		if err := eng.Run3D(g, tessellate.Heat3D, 9, tessellate.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	base := run()
+
+	tessellate.EnableTelemetry()
+	defer tessellate.DisableTelemetry()
+	tessellate.ResetTrace()
+	instr := run()
+
+	for p := 0; p < 2; p++ {
+		for i := range base.Buf[p] {
+			if base.Buf[p][i] != instr.Buf[p][i] {
+				t.Fatalf("telemetry changed the numerics: buffer %d index %d", p, i)
+			}
+		}
+	}
+
+	var metrics bytes.Buffer
+	if err := tessellate.WriteMetrics(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	out := metrics.String()
+	for _, fam := range []string{
+		"tess_pool_dispatch_seconds",
+		"tess_stage_duration_seconds",
+		"tess_points_updated_total",
+		"tess_dist_bytes_total",
+		"tess_pool_for_size",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Fatalf("exposition missing family %s:\n%s", fam, out)
+		}
+	}
+	if strings.Contains(out, "tess_points_updated_total 0\n") {
+		t.Fatal("points counter still zero after an instrumented run")
+	}
+
+	var trace bytes.Buffer
+	if err := tessellate.Trace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &dump); err != nil {
+		t.Fatalf("trace dump is not valid JSON: %v", err)
+	}
+	if len(dump.TraceEvents) == 0 {
+		t.Fatal("trace dump has no events after an instrumented run")
+	}
+}

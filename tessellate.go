@@ -25,6 +25,7 @@ package tessellate
 
 import (
 	"fmt"
+	"io"
 
 	"tessellate/internal/core"
 	"tessellate/internal/d35"
@@ -37,6 +38,7 @@ import (
 	"tessellate/internal/par"
 	"tessellate/internal/skew"
 	"tessellate/internal/stencil"
+	"tessellate/internal/telemetry"
 )
 
 // Grid types. A grid owns two time-parity buffers plus a constant halo
@@ -305,6 +307,59 @@ func (e *Engine) RunND(g *NDGrid, s *GenericStencil, steps int, opt Options) err
 		return core.RunNDPeriodic(g, s, steps, &cfg, e.pool)
 	}
 	return core.RunND(g, s, steps, &cfg, e.pool)
+}
+
+// Telemetry: the runtime observability subsystem (internal/telemetry)
+// instruments the worker pool, the tessellation executors, the
+// distributed exchange and the benchmark harness. It is off by
+// default and costs < 2 ns per instrumented operation while off; see
+// DESIGN.md §Observability for the metric namespace and trace schema.
+
+// EnableTelemetry turns instrumentation on: metric counters,
+// histograms and the phase tracer start recording. Results are
+// bitwise identical with telemetry on or off.
+func EnableTelemetry() { telemetry.Enable() }
+
+// DisableTelemetry turns instrumentation back off; recorded values
+// are retained.
+func DisableTelemetry() { telemetry.Disable() }
+
+// TelemetryEnabled reports whether instrumentation is on.
+func TelemetryEnabled() bool { return telemetry.Enabled() }
+
+// WriteMetrics renders all metrics in the Prometheus text exposition
+// format (the same payload the /metrics endpoint serves).
+func WriteMetrics(w io.Writer) error { return telemetry.Default.Write(w) }
+
+// Trace dumps the recorded phase/stage spans as Chrome trace_event
+// JSON, loadable in chrome://tracing or Perfetto to visualise the
+// stage waves.
+func Trace(w io.Writer) error { return telemetry.DefaultTracer.WriteJSON(w) }
+
+// ResetTrace drops recorded spans and restarts the trace clock.
+func ResetTrace() { telemetry.DefaultTracer.Reset() }
+
+// TelemetryServer is a running observability HTTP listener serving
+// /metrics (Prometheus text), /trace (Chrome trace JSON) and
+// /debug/pprof/.
+type TelemetryServer struct {
+	s *telemetry.Server
+}
+
+// Addr returns the listener's bound address (useful with ":0").
+func (t *TelemetryServer) Addr() string { return t.s.Addr() }
+
+// Close stops the listener.
+func (t *TelemetryServer) Close() error { return t.s.Close() }
+
+// ServeTelemetry enables instrumentation and starts the observability
+// HTTP listener on addr (e.g. ":8080").
+func ServeTelemetry(addr string) (*TelemetryServer, error) {
+	s, err := telemetry.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TelemetryServer{s: s}, nil
 }
 
 // tessConfig builds a core.Config from Options for a benchmark spec.
