@@ -1,0 +1,169 @@
+package tessellate_test
+
+import (
+	"testing"
+
+	"tessellate"
+)
+
+// scriptedRetuner follows a fixed plan: at each boundary it pops the
+// next options (nil entry = keep current). It lets the tests exercise
+// mid-run re-tiling deterministically, without timing.
+type scriptedRetuner struct {
+	phases     int
+	plan       []*tessellate.Options
+	boundaries []tessellate.PhaseBoundary
+}
+
+func (s *scriptedRetuner) Phases() int { return s.phases }
+
+func (s *scriptedRetuner) Retune(b tessellate.PhaseBoundary) (tessellate.Options, bool) {
+	s.boundaries = append(s.boundaries, b)
+	if len(s.plan) == 0 {
+		return tessellate.Options{}, false
+	}
+	next := s.plan[0]
+	s.plan = s.plan[1:]
+	if next == nil {
+		return tessellate.Options{}, false
+	}
+	return *next, true
+}
+
+// An adaptive run that re-tiles at every boundary must stay bitwise
+// identical to the plain fixed-schedule run, in every dimension.
+func TestRunAdaptiveScriptedExactness(t *testing.T) {
+	eng := tessellate.NewEngine(4)
+	defer eng.Close()
+
+	t.Run("1D", func(t *testing.T) {
+		const n, steps = 301, 25
+		g := tessellate.NewGrid1D(n, 1)
+		g.Fill(func(x int) float64 { return float64(x%13) * 0.25 })
+		ref := g.Clone()
+		rt := &scriptedRetuner{phases: 2, plan: []*tessellate.Options{
+			{TimeTile: 2, Block: []int{16}},
+			nil,
+			{TimeTile: 4, Block: []int{24}},
+		}}
+		if err := eng.RunAdaptive1D(g, tessellate.Heat1D, steps, tessellate.Options{TimeTile: 3, Block: []int{12}}, rt); err != nil {
+			t.Fatal(err)
+		}
+		if len(rt.boundaries) == 0 {
+			t.Fatal("retuner never consulted")
+		}
+		if err := eng.Run1D(ref, tessellate.Heat1D, steps, tessellate.Options{Scheme: tessellate.Naive}); err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < n; x++ {
+			if g.At(x) != ref.At(x) {
+				t.Fatalf("diverged at %d", x)
+			}
+		}
+	})
+
+	t.Run("2D", func(t *testing.T) {
+		const nx, ny, steps = 61, 53, 22
+		g := tessellate.NewGrid2D(nx, ny, 1, 1)
+		g.Fill(func(x, y int) float64 { return float64((x*y)%11) * 0.5 })
+		ref := g.Clone()
+		rt := &scriptedRetuner{phases: 1, plan: []*tessellate.Options{
+			{TimeTile: 2, Block: []int{10, 12}},
+			{TimeTile: 4, Block: []int{18, 20}, NoMerge: true},
+			{TimeTile: 3, Block: []int{12, 14}},
+		}}
+		if err := eng.RunAdaptive2D(g, tessellate.Heat2D, steps, tessellate.Options{TimeTile: 3, Block: []int{12, 12}}, rt); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run2D(ref, tessellate.Heat2D, steps, tessellate.Options{Scheme: tessellate.Naive}); err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				if g.At(x, y) != ref.At(x, y) {
+					t.Fatalf("diverged at (%d,%d)", x, y)
+				}
+			}
+		}
+		// Boundary metadata must be consistent: monotone StepsDone,
+		// resolved options.
+		last := 0
+		for _, b := range rt.boundaries {
+			if b.StepsDone <= last || b.StepsDone >= steps {
+				t.Fatalf("boundary at %d outside (last %d, total %d)", b.StepsDone, last, steps)
+			}
+			last = b.StepsDone
+			if b.StepsTotal != steps || b.Options.TimeTile < 1 || len(b.Options.Block) != 2 {
+				t.Fatalf("malformed boundary %+v", b)
+			}
+		}
+	})
+
+	t.Run("3D", func(t *testing.T) {
+		const n, steps = 24, 9
+		g := tessellate.NewGrid3D(n, n, n, 1, 1, 1)
+		g.Fill(func(x, y, z int) float64 { return float64((x + y + z) % 7) })
+		ref := g.Clone()
+		rt := &scriptedRetuner{phases: 1, plan: []*tessellate.Options{
+			{TimeTile: 1, Block: []int{6, 6, 8}},
+		}}
+		if err := eng.RunAdaptive3D(g, tessellate.Heat3D, steps, tessellate.Options{TimeTile: 2, Block: []int{8, 8, 10}}, rt); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run3D(ref, tessellate.Heat3D, steps, tessellate.Options{Scheme: tessellate.Naive}); err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				for z := 0; z < n; z++ {
+					if g.At(x, y, z) != ref.At(x, y, z) {
+						t.Fatalf("diverged at (%d,%d,%d)", x, y, z)
+					}
+				}
+			}
+		}
+	})
+}
+
+// A nil retuner degrades to a plain run; non-tessellation schemes and
+// dimension mismatches are rejected up front.
+func TestRunAdaptiveEdges(t *testing.T) {
+	eng := tessellate.NewEngine(2)
+	defer eng.Close()
+
+	g := tessellate.NewGrid2D(48, 48, 1, 1)
+	g.Fill(func(x, y int) float64 { return float64(x - y) })
+	ref := g.Clone()
+	if err := eng.RunAdaptive2D(g, tessellate.Heat2D, 10, tessellate.Options{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run2D(ref, tessellate.Heat2D, 10, tessellate.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 48; x++ {
+		for y := 0; y < 48; y++ {
+			if g.At(x, y) != ref.At(x, y) {
+				t.Fatalf("nil-retuner run diverged at (%d,%d)", x, y)
+			}
+		}
+	}
+
+	if err := eng.RunAdaptive2D(g, tessellate.Heat2D, 4, tessellate.Options{Scheme: tessellate.Diamond}, nil); err == nil {
+		t.Fatal("non-tessellation scheme accepted")
+	}
+	if err := eng.RunAdaptive2D(g, tessellate.Heat3D, 4, tessellate.Options{}, nil); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := eng.RunAdaptive2D(g, tessellate.Heat2D, -1, tessellate.Options{}, nil); err == nil {
+		t.Fatal("negative steps accepted")
+	}
+
+	// A retuner returning an illegal tiling fails the run with a
+	// descriptive error rather than computing garbage.
+	bad := &scriptedRetuner{phases: 1, plan: []*tessellate.Options{
+		{TimeTile: 8, Block: []int{4, 4}},
+	}}
+	if err := eng.RunAdaptive2D(g, tessellate.Heat2D, 20, tessellate.Options{TimeTile: 2, Block: []int{8, 8}}, bad); err == nil {
+		t.Fatal("illegal re-tile accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tessellate"
+	"tessellate/internal/autotune"
+	"tessellate/internal/bench"
+)
+
+// runAdaptiveDemo demonstrates the online re-tuning loop on the
+// Figure-10 heat-2d workload: a run seeded with a deliberately bad
+// tiling, once with the schedule fixed and once with the
+// telemetry-driven controller allowed to re-tile at phase boundaries.
+// It prints both rates, the controller's re-tune log, and the rate of
+// the tiling the controller converged to.
+func runAdaptiveDemo(out io.Writer, scale, threads int, drift float64, interval int) error {
+	w := bench.ByFigure("10")[0].Scaled(scale)
+	spec, err := tessellate.StencilByName(w.Kernel)
+	if err != nil {
+		return err
+	}
+	// The controller's one-time calibration search costs a fixed pause;
+	// run long enough that it amortizes, as it would in a real
+	// long-running engine.
+	steps := 4 * w.Steps
+	pessimal := tessellate.Options{TimeTile: 1, Block: []int{2 * spec.Slopes[0], 4 * spec.Slopes[1]}}
+
+	eng := tessellate.NewEngine(threads)
+	defer eng.Close()
+	points := w.N[0] * w.N[1]
+
+	run := func(label string, opt tessellate.Options, rt tessellate.Retuner) (float64, error) {
+		g := tessellate.NewGrid2D(w.N[0], w.N[1], spec.Slopes[0], spec.Slopes[1])
+		g.Fill(func(x, y int) float64 { return float64((x+y)%17) * 0.0625 })
+		start := time.Now()
+		if rt != nil {
+			err = eng.RunAdaptive2D(g, spec, steps, opt, rt)
+		} else {
+			err = eng.Run2D(g, spec, steps, opt)
+		}
+		if err != nil {
+			return 0, err
+		}
+		rate := float64(points) * float64(steps) / time.Since(start).Seconds() / 1e6
+		fmt.Fprintf(out, "  %-24s %8.1f MUpd/s\n", label, rate)
+		return rate, nil
+	}
+
+	fmt.Fprintf(out, "adaptive re-tuning demo: %s N=%v T=%d threads=%d (seed TimeTile=%d Block=%v)\n",
+		spec.Name, w.N, steps, eng.Threads(), pessimal.TimeTile, pessimal.Block)
+
+	fixed, err := run("fixed pessimal", pessimal, nil)
+	if err != nil {
+		return err
+	}
+
+	ctrl := autotune.NewController(eng, spec, w.N, autotune.OnlineConfig{
+		Interval:    interval,
+		Threshold:   drift,
+		TuneOnStart: true,
+	})
+	adaptive, err := run("adaptive from same seed", pessimal, ctrl)
+	if err != nil {
+		return err
+	}
+
+	final := pessimal
+	for _, ev := range ctrl.Events() {
+		kind := "drift re-tune"
+		if ev.Initial {
+			kind = "calibration"
+		}
+		fmt.Fprintf(out, "    step %4d %-14s TimeTile=%d Block=%v -> TimeTile=%d Block=%v (%.1f MUpd/s)\n",
+			ev.StepsDone, kind, ev.Before.TimeTile, ev.Before.Block, ev.After.TimeTile, ev.After.Block, ev.Rate)
+		final = ev.After
+	}
+	if _, err := run("fixed at converged tiling", final, nil); err != nil {
+		return err
+	}
+	if fixed > 0 {
+		fmt.Fprintf(out, "  adaptive speedup over fixed pessimal: %.2fx\n", adaptive/fixed)
+	}
+	return nil
+}

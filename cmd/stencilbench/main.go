@@ -10,6 +10,7 @@
 //	stencilbench -fig all -scale 32
 //	stencilbench -ablate               # coarsening / merging / tile-height ablation
 //	stencilbench -concurrency          # barriers & parallelism per scheme
+//	stencilbench -adaptive             # online re-tuning demo (pessimal seed vs adaptive)
 //	stencilbench -paper -fig 8         # full paper problem sizes (hours!)
 //	stencilbench -threads 1,2,4,8      # thread sweep points
 //
@@ -27,10 +28,12 @@
 //	-fig all      |     yes          yes      no        yes
 //	-ablate       |     yes          yes      no        yes
 //	-concurrency  |     yes           no      no        yes
+//	-adaptive     |     yes          yes      no        yes
 //
 // -csv needs a single -fig to name the measurement sweep it exports;
-// combining it with -list, -ablate, -concurrency or -fig all is an
-// error rather than a silent no-op.
+// combining it with -list, -ablate, -concurrency, -adaptive or
+// -fig all is an error rather than a silent no-op. -drift and
+// -interval tune the -adaptive controller and are ignored elsewhere.
 package main
 
 import (
@@ -55,6 +58,9 @@ func main() {
 		list    = flag.Bool("list", false, "print the Table 4 workloads and exit")
 		ablate  = flag.Bool("ablate", false, "run the ablation study")
 		conc    = flag.Bool("concurrency", false, "print the concurrency/synchronization profile of the schemes")
+		adapt   = flag.Bool("adaptive", false, "run the online re-tuning demo (heat-2d, pessimal seed vs adaptive)")
+		drift   = flag.Float64("drift", 0.5, "adaptive: relative mean-shift threshold that triggers a re-tune")
+		interva = flag.Int("interval", 4, "adaptive: phases between drift checks")
 		csvOut  = flag.String("csv", "", "write a figure's measurements as CSV to this file (requires a single -fig)")
 		telAddr = flag.String("telemetry", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. :8080) and enable instrumentation")
 		traceTo = flag.String("trace", "", "write a Chrome trace_event JSON dump of the run to this file (enables instrumentation)")
@@ -68,8 +74,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc) {
-		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency or -fig all"))
+	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc || *adapt) {
+		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency, -adaptive or -fig all"))
 	}
 
 	if *telAddr != "" || *traceTo != "" {
@@ -98,6 +104,10 @@ func main() {
 		}
 	case *ablate:
 		if err := bench.RunAblation(os.Stdout, *scale, ths[len(ths)-1]); err != nil {
+			fatal(err)
+		}
+	case *adapt:
+		if err := runAdaptiveDemo(os.Stdout, *scale, ths[len(ths)-1], *drift, *interva); err != nil {
 			fatal(err)
 		}
 	case *fig == "all":

@@ -11,6 +11,7 @@ package autotune
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -28,8 +29,10 @@ type Trial struct {
 type Budget struct {
 	// MaxTrials caps the number of timed candidates (default 24).
 	MaxTrials int
-	// MinSteps is the minimum time steps per trial (default 3*BT, at
-	// least this value). Longer runs reduce noise.
+	// MinSteps is the minimum time steps per trial (default 32). The
+	// actual trial length is at least 3*BT and is rounded up to a whole
+	// number of time tiles so every candidate runs phase-aligned.
+	// Longer runs reduce noise.
 	MinSteps int
 }
 
@@ -151,34 +154,61 @@ func candidates(spec *tessellate.Stencil, dims []int, maxTrials int) []tessellat
 	return out
 }
 
-// measure times one candidate on a fresh deterministic grid.
-func measure(eng *tessellate.Engine, spec *tessellate.Stencil, dims []int, opt tessellate.Options, minSteps int) (Trial, error) {
-	steps := 3 * opt.TimeTile
+// trialSteps returns the timed step count for a candidate with time
+// tile bt: at least minSteps and at least three full time tiles,
+// rounded up to a whole number of phases. Without the rounding a
+// candidate whose BT does not divide the step count pays a partial
+// trailing phase — less temporal reuse per synchronization — and is
+// penalized relative to candidates that happen to divide evenly.
+func trialSteps(bt, minSteps int) int {
+	steps := 3 * bt
 	if steps < minSteps {
 		steps = minSteps
 	}
-	var run func() error
+	if rem := steps % bt; rem != 0 {
+		steps += bt - rem
+	}
+	return steps
+}
+
+// measure times one candidate on a fresh deterministic grid. One
+// untimed warmup phase touches every page first (so the first-measured
+// candidate does not pay page-fault and cold-cache costs the others
+// skip), then the candidate runs twice and the faster run wins,
+// discounting one-off scheduler noise.
+func measure(eng *tessellate.Engine, spec *tessellate.Stencil, dims []int, opt tessellate.Options, minSteps int) (Trial, error) {
+	steps := trialSteps(opt.TimeTile, minSteps)
+	var run func(n int) error
 	switch len(dims) {
 	case 1:
 		g := tessellate.NewGrid1D(dims[0], spec.MaxSlope())
 		g.Fill(func(x int) float64 { return float64(x%17) * 0.0625 })
-		run = func() error { return eng.Run1D(g, spec, steps, opt) }
+		run = func(n int) error { return eng.Run1D(g, spec, n, opt) }
 	case 2:
 		g := tessellate.NewGrid2D(dims[0], dims[1], spec.Slopes[0], spec.Slopes[1])
 		g.Fill(func(x, y int) float64 { return float64((x+y)%17) * 0.0625 })
-		run = func() error { return eng.Run2D(g, spec, steps, opt) }
+		run = func(n int) error { return eng.Run2D(g, spec, n, opt) }
 	case 3:
 		g := tessellate.NewGrid3D(dims[0], dims[1], dims[2], spec.Slopes[0], spec.Slopes[1], spec.Slopes[2])
 		g.Fill(func(x, y, z int) float64 { return float64((x+y+z)%17) * 0.0625 })
-		run = func() error { return eng.Run3D(g, spec, steps, opt) }
+		run = func(n int) error { return eng.Run3D(g, spec, n, opt) }
 	default:
 		return Trial{}, fmt.Errorf("autotune: unsupported rank %d", len(dims))
 	}
-	start := time.Now()
-	if err := run(); err != nil {
+	// One untimed warmup phase, then best of two timed runs.
+	if err := run(opt.TimeTile); err != nil {
 		return Trial{}, fmt.Errorf("autotune: candidate %+v: %w", opt, err)
 	}
-	secs := time.Since(start).Seconds()
+	secs := math.Inf(1)
+	for rep := 0; rep < 2; rep++ {
+		start := time.Now()
+		if err := run(steps); err != nil {
+			return Trial{}, fmt.Errorf("autotune: candidate %+v: %w", opt, err)
+		}
+		if s := time.Since(start).Seconds(); s < secs {
+			secs = s
+		}
+	}
 	points := 1
 	for _, n := range dims {
 		points *= n

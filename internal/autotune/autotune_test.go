@@ -69,6 +69,29 @@ func TestSearchRejectsBadInput(t *testing.T) {
 	}
 }
 
+// Trial step counts must be a whole number of time tiles: a partial
+// trailing phase would penalize candidates whose BT does not divide
+// the step budget.
+func TestTrialStepsPhaseAligned(t *testing.T) {
+	for _, bt := range []int{1, 2, 3, 4, 5, 7, 8, 16, 32, 64} {
+		for _, minSteps := range []int{1, 8, 16, 30, 32, 33, 100} {
+			steps := trialSteps(bt, minSteps)
+			if steps%bt != 0 {
+				t.Errorf("trialSteps(%d, %d) = %d, not a multiple of BT", bt, minSteps, steps)
+			}
+			if steps < minSteps {
+				t.Errorf("trialSteps(%d, %d) = %d < minSteps", bt, minSteps, steps)
+			}
+			if steps < 3*bt {
+				t.Errorf("trialSteps(%d, %d) = %d < 3 time tiles", bt, minSteps, steps)
+			}
+			if steps >= minSteps+bt && steps > 3*bt {
+				t.Errorf("trialSteps(%d, %d) = %d overshoots the minimal aligned count", bt, minSteps, steps)
+			}
+		}
+	}
+}
+
 func TestCandidatesDegenerateDomain(t *testing.T) {
 	// A domain too small for any standard candidate still yields the
 	// minimal legal tiling.

@@ -21,6 +21,7 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 		return err
 	}
 	h := g.H
+	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
@@ -35,7 +36,7 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 				if sp != nil {
 					pts += boxVolume(lo[:], hi[:])
 				}
-				s.K1(g.Buf[(t+1)&1], g.Buf[t&1], lo[0]+h, hi[0]+h)
+				s.K1(g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1], lo[0]+h, hi[0]+h)
 			}
 			sp.addPoints(pts)
 		})
@@ -57,6 +58,7 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.NX, g.NY}, s.Slopes); err != nil {
 		return err
 	}
+	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
@@ -71,7 +73,7 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 				if sp != nil {
 					pts += boxVolume(lo[:], hi[:])
 				}
-				dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
+				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
 				n := hi[1] - lo[1]
 				base := g.Idx(lo[0], lo[1])
 				for x := lo[0]; x < hi[0]; x++ {
@@ -99,6 +101,7 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.NX, g.NY, g.NZ}, s.Slopes); err != nil {
 		return err
 	}
+	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
@@ -113,7 +116,7 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 				if sp != nil {
 					pts += boxVolume(lo[:], hi[:])
 				}
-				dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
+				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
 				n := hi[2] - lo[2]
 				xBase := g.Idx(lo[0], lo[1], lo[2])
 				for x := lo[0]; x < hi[0]; x++ {
@@ -152,6 +155,7 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 	}
 	flat := gs.FlatOffsets(g.Strides)
 	d := g.D()
+	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
@@ -168,7 +172,7 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 				if sp != nil {
 					pts += boxVolume(lo, hi)
 				}
-				dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
+				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
 				copy(p, lo)
 				for {
 					gs.Apply(dst, src, g.Idx(p), flat)

@@ -145,6 +145,7 @@ func RunNDPeriodic(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, 
 		return err
 	}
 	d := g.D()
+	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for _, r := range cfg.periodicRegions(steps) {
 		r := r
 		pool.For(len(r.Blocks), func(bi int) {
@@ -158,7 +159,7 @@ func RunNDPeriodic(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, 
 				if !cfg.periodicBounds(&r, b, t, lo, hi) {
 					continue
 				}
-				dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
+				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
 				copy(p, lo)
 				for {
 					// Wrap the point and gather neighbours mod N.

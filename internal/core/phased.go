@@ -1,0 +1,83 @@
+// Phased execution: the phase-boundary hook the online autotuner
+// builds on. A tessellation run is a sequence of phases of BT time
+// steps; consecutive phases are separated by full synchronization
+// (§4.3: every region ends with a barrier, and the trailing clamped
+// regions of a segment bring every grid point to exactly the same time
+// step). That boundary is therefore the one point where swapping the
+// tile parameters (BT, Big) is legal: the next segment starts from a
+// uniform-time grid exactly as a fresh run would, so the concatenation
+// of segments is bitwise identical to a single fixed-schedule run.
+
+package core
+
+import (
+	"fmt"
+
+	"tessellate/internal/grid"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+)
+
+// PhaseHook is consulted between segments of a phased run, at a full
+// synchronization point where every grid point has advanced exactly
+// stepsDone steps. cur is the configuration the finished segment ran
+// with. Returning nil keeps it; returning a new Config re-tiles the
+// remaining steps. The returned config must describe the same domain
+// and slopes (it is validated before use).
+type PhaseHook func(stepsDone int, cur *Config) *Config
+
+// RunPhased1D is Run1D that pauses every `every` phases (of cfg.BT
+// steps each) to consult hook. every < 1 means 1; a nil hook degrades
+// to a single plain run.
+func RunPhased1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Pool, every int, hook PhaseHook) error {
+	return runPhased(steps, cfg, every, hook, func(seg int, c *Config) error {
+		return Run1D(g, s, seg, c, pool)
+	})
+}
+
+// RunPhased2D is Run2D with a phase-boundary hook; see RunPhased1D.
+func RunPhased2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Pool, every int, hook PhaseHook) error {
+	return runPhased(steps, cfg, every, hook, func(seg int, c *Config) error {
+		return Run2D(g, s, seg, c, pool)
+	})
+}
+
+// RunPhased3D is Run3D with a phase-boundary hook; see RunPhased1D.
+func RunPhased3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Pool, every int, hook PhaseHook) error {
+	return runPhased(steps, cfg, every, hook, func(seg int, c *Config) error {
+		return Run3D(g, s, seg, c, pool)
+	})
+}
+
+// runPhased drives run in segments of every*BT steps, consulting hook
+// between segments and swapping in any replacement configuration for
+// the remainder of the run.
+func runPhased(steps int, cfg *Config, every int, hook PhaseHook, run func(seg int, c *Config) error) error {
+	if hook == nil {
+		return run(steps, cfg)
+	}
+	if every < 1 {
+		every = 1
+	}
+	done := 0
+	for done < steps {
+		seg := every * cfg.BT
+		if seg > steps-done {
+			seg = steps - done
+		}
+		if err := run(seg, cfg); err != nil {
+			return err
+		}
+		done += seg
+		if done >= steps {
+			break
+		}
+		if next := hook(done, cfg); next != nil {
+			if err := next.Validate(); err != nil {
+				return fmt.Errorf("core: phase hook at step %d returned invalid config: %w", done, err)
+			}
+			cfg = next
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tessellate/internal/telemetry"
+)
+
+// recoverPanic runs f and returns the panic value it raised (nil if it
+// returned normally).
+func recoverPanic(f func()) (val any) {
+	defer func() { val = recover() }()
+	f()
+	return nil
+}
+
+// A panicking body must not deadlock For, must surface the panic to
+// the For caller, and must leave the pool fully usable: no lost
+// workers, no leaked goroutines.
+func TestPoolForPanickingBody(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := NewPool(4)
+	for round := 0; round < 3; round++ {
+		done := make(chan any, 1)
+		go func() {
+			done <- recoverPanic(func() {
+				p.For(100, func(i int) {
+					if i == 37 {
+						panic("boom")
+					}
+				})
+			})
+		}()
+		select {
+		case v := <-done:
+			if v != "boom" {
+				t.Fatalf("round %d: For panicked with %v, want \"boom\"", round, v)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: For deadlocked on a panicking body", round)
+		}
+		// The pool must still run a full For afterwards: all workers
+		// alive, WaitGroup balanced.
+		var ran atomic.Int32
+		ok := make(chan struct{})
+		go func() {
+			p.For(1000, func(int) { ran.Add(1) })
+			close(ok)
+		}()
+		select {
+		case <-ok:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: pool unusable after panic", round)
+		}
+		if got := ran.Load(); got != 1000 {
+			t.Fatalf("round %d: %d iterations after panic, want 1000", round, got)
+		}
+	}
+	p.Close()
+	waitGoroutines(t, base)
+}
+
+// The serial fast path (1 worker) propagates the panic directly and
+// the pool stays usable.
+func TestPoolForPanickingBodySerial(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	if v := recoverPanic(func() { p.For(5, func(int) { panic(42) }) }); v != 42 {
+		t.Fatalf("serial For panicked with %v, want 42", v)
+	}
+	var ran atomic.Int32
+	p.For(5, func(int) { ran.Add(1) })
+	if ran.Load() != 5 {
+		t.Fatal("serial pool unusable after panic")
+	}
+}
+
+// Run must behave the same way: first panic re-raised after all lanes
+// finish, no goroutine leak, pool reusable.
+func TestPoolRunPanickingFn(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := NewPool(4)
+	var started atomic.Int32
+	v := recoverPanic(func() {
+		p.Run(func(w int) {
+			started.Add(1)
+			if w == 2 {
+				panic("lane down")
+			}
+		})
+	})
+	if v != "lane down" {
+		t.Fatalf("Run panicked with %v, want \"lane down\"", v)
+	}
+	if got := started.Load(); got != 4 {
+		t.Fatalf("%d lanes started, want 4 (panic must not stop other lanes)", got)
+	}
+	var ran atomic.Int32
+	p.Run(func(int) { ran.Add(1) })
+	if ran.Load() != 4 {
+		t.Fatal("pool unusable after Run panic")
+	}
+	p.Close()
+	waitGoroutines(t, base)
+}
+
+// Toggling telemetry off in the middle of a parallel region must not
+// drift the busy-workers gauge: the increment/decrement pair is
+// decided once at region start and both halves bypass the enabled
+// gate.
+func TestPoolBusyGaugeToggleSafe(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	p := NewPool(4)
+	defer p.Close()
+
+	entered := make(chan struct{}, 64)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		p.For(8, func(int) {
+			entered <- struct{}{}
+			<-release
+		})
+		close(done)
+	}()
+	// Wait until at least one worker is inside the region, then flip
+	// telemetry off while increments have happened but decrements have
+	// not.
+	<-entered
+	telemetry.Disable()
+	close(release)
+	<-done
+	for len(entered) > 0 {
+		<-entered
+	}
+
+	if got := telemetry.PoolWorkersBusy.Value(); got != 0 {
+		t.Fatalf("busy gauge = %v after toggle mid-region, want 0", got)
+	}
+
+	// The mirror case: telemetry enabled mid-region. The pair was
+	// sampled disabled at region start, so neither half records and the
+	// gauge still reads 0.
+	telemetry.Disable()
+	done2 := make(chan struct{})
+	release2 := make(chan struct{})
+	go func() {
+		p.For(8, func(int) {
+			entered <- struct{}{}
+			<-release2
+		})
+		close(done2)
+	}()
+	<-entered
+	telemetry.Enable()
+	close(release2)
+	<-done2
+	if got := telemetry.PoolWorkersBusy.Value(); got != 0 {
+		t.Fatalf("busy gauge = %v after enable mid-region, want 0", got)
+	}
+}

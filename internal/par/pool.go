@@ -26,7 +26,16 @@ type Pool struct {
 	jobs    chan func(worker int)
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+	// panicked holds the first panic captured from a job of the
+	// in-flight For/ForChunked call; the caller re-raises it after all
+	// runners finish. For is single-caller (it shares wg), so one slot
+	// suffices.
+	panicked atomic.Pointer[capturedPanic]
 }
+
+// capturedPanic boxes a recovered panic value so it can live in an
+// atomic.Pointer.
+type capturedPanic struct{ val any }
 
 // NewPool creates a pool with the given number of workers. If workers
 // is <= 0, runtime.GOMAXPROCS(0) is used. The pool's goroutines run
@@ -42,12 +51,26 @@ func NewPool(workers int) *Pool {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			for job := range p.jobs {
-				job(w)
-				p.wg.Done()
+				p.runJob(job, w)
 			}
 		}(w)
 	}
 	return p
+}
+
+// runJob executes one job, guaranteeing the WaitGroup decrement and
+// capturing (instead of propagating) a panicking job: an unrecovered
+// panic would kill the worker goroutine — permanently shrinking the
+// pool — and leave For deadlocked on wg.Wait. The first captured panic
+// is re-raised from the For caller once all runners finish.
+func (p *Pool) runJob(job func(worker int), w int) {
+	defer p.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked.CompareAndSwap(nil, &capturedPanic{val: r})
+		}
+	}()
+	job(w)
 }
 
 // Workers reports the pool size.
@@ -108,14 +131,19 @@ func (p *Pool) ForChunked(n, chunk int, body func(i int)) {
 	if runners > n {
 		runners = n
 	}
+	p.panicked.Store(nil)
 	p.wg.Add(runners)
 	for w := 0; w < runners; w++ {
 		p.jobs <- func(int) {
 			if traced {
-				telemetry.PoolWorkersBusy.Add(1)
-				defer telemetry.PoolWorkersBusy.Add(-1)
+				// Both halves bypass the enabled gate: the pair was
+				// admitted by the traced sample above, and gating the
+				// decrement would drift the gauge permanently if
+				// telemetry were toggled off mid-region.
+				telemetry.PoolWorkersBusy.AddUngated(1)
+				defer telemetry.PoolWorkersBusy.AddUngated(-1)
 			}
-			for {
+			for p.panicked.Load() == nil {
 				start := int(next.Add(int64(chunk))) - chunk
 				if start >= n {
 					return
@@ -138,6 +166,9 @@ func (p *Pool) ForChunked(n, chunk int, body func(i int)) {
 	if traced {
 		telemetry.PoolForSeconds.Observe(time.Since(t0).Seconds())
 	}
+	if pv := p.panicked.Load(); pv != nil {
+		panic(pv.val)
+	}
 }
 
 // Run executes fn(w) once for each worker id w in [0, Workers())
@@ -146,18 +177,30 @@ func (p *Pool) ForChunked(n, chunk int, body func(i int)) {
 // (e.g. the pipelined wavefront baseline). It uses fresh goroutines
 // rather than the job queue: pool workers grab jobs competitively, so
 // the queue cannot guarantee distinct-id coverage.
+// A panicking fn does not kill its goroutine unrecovered (which would
+// crash the process): the first panic is captured and re-raised from
+// the Run caller after every lane has finished.
 func (p *Pool) Run(fn func(worker int)) {
 	if p.workers == 1 {
 		fn(0)
 		return
 	}
 	var wg sync.WaitGroup
+	var first atomic.Pointer[capturedPanic]
 	wg.Add(p.workers)
 	for w := 0; w < p.workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					first.CompareAndSwap(nil, &capturedPanic{val: r})
+				}
+			}()
 			fn(w)
 		}(w)
 	}
 	wg.Wait()
+	if pv := first.Load(); pv != nil {
+		panic(pv.val)
+	}
 }

@@ -78,6 +78,23 @@ func (g *Gauge) Add(delta float64) {
 	if g == nil || !enabled.Load() {
 		return
 	}
+	g.addUngated(delta)
+}
+
+// AddUngated adds delta regardless of the subsystem's enabled state
+// (still a no-op on a nil gauge). Paired increment/decrement call
+// sites must use it for BOTH halves, deciding once (at the increment)
+// whether the pair records at all: if the gated Add were used, a
+// toggle of the enabled flag between the two halves would drop exactly
+// one of them and drift the gauge permanently.
+func (g *Gauge) AddUngated(delta float64) {
+	if g == nil {
+		return
+	}
+	g.addUngated(delta)
+}
+
+func (g *Gauge) addUngated(delta float64) {
 	for {
 		old := g.bits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + delta)

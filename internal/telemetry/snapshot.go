@@ -1,0 +1,85 @@
+package telemetry
+
+// Windowed histogram views. A cumulative histogram answers "what
+// happened since the process started"; a feedback controller needs
+// "what happened since I last looked". HistSnapshot captures a
+// histogram's state at one instant, and Delta subtracts two snapshots
+// to recover exactly the samples of the window between them — the
+// primitive the online autotuner's drift detector is built on.
+
+// HistSnapshot is a point-in-time copy of a Histogram's cumulative
+// state. Snapshots taken at quiescent points (e.g. the full
+// synchronization between tessellation phases) are exact; snapshots
+// taken while observers are running may be torn across the Count, Sum
+// and Buckets fields by in-flight Observe calls, but each field is
+// itself a consistent atomic read and Count never decreases.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds (excluding +Inf), shared with
+	// the source histogram's shape.
+	Bounds []float64
+	// Buckets holds per-bucket (non-cumulative) counts; the last entry
+	// is the +Inf bucket, so len(Buckets) == len(Bounds)+1.
+	Buckets []uint64
+	// Count is the total number of samples.
+	Count uint64
+	// Sum is the sum of all samples.
+	Sum float64
+}
+
+// Snapshot copies the histogram's current cumulative state. It is
+// readable even while the subsystem is disabled; a nil histogram
+// yields a zero snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	return HistSnapshot{
+		Bounds:  h.Bounds(),
+		Buckets: h.BucketCounts(),
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+	}
+}
+
+// Delta returns the window s - earlier: the samples observed after
+// `earlier` was taken and up to s. Both snapshots must come from the
+// same histogram (same bucket shape); mismatched shapes return the
+// later snapshot unchanged, and fields that would go negative (e.g.
+// snapshots taken out of order) clamp to zero.
+func (s HistSnapshot) Delta(earlier HistSnapshot) HistSnapshot {
+	if len(earlier.Buckets) == 0 {
+		return s
+	}
+	if len(earlier.Buckets) != len(s.Buckets) {
+		return s
+	}
+	out := HistSnapshot{
+		Bounds:  s.Bounds,
+		Buckets: make([]uint64, len(s.Buckets)),
+		Count:   sub64(s.Count, earlier.Count),
+		Sum:     s.Sum - earlier.Sum,
+	}
+	if out.Sum < 0 {
+		out.Sum = 0
+	}
+	for i := range s.Buckets {
+		out.Buckets[i] = sub64(s.Buckets[i], earlier.Buckets[i])
+	}
+	return out
+}
+
+// Mean returns the average sample of the snapshot (or window), or 0
+// when it holds no samples.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+func sub64(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}

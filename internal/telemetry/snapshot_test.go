@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotDeltaEqualsWindow(t *testing.T) {
+	enabled.Store(true)
+	defer enabled.Store(false)
+	h := NewHistogram([]float64{1, 10, 100})
+
+	h.Observe(0.5)
+	h.Observe(5)
+	s0 := h.Snapshot()
+
+	// The window: three samples landing in distinct buckets.
+	h.Observe(0.5)
+	h.Observe(50)
+	h.Observe(500)
+	s1 := h.Snapshot()
+
+	w := s1.Delta(s0)
+	if w.Count != 3 {
+		t.Fatalf("window count = %d, want 3", w.Count)
+	}
+	if math.Abs(w.Sum-550.5) > 1e-9 {
+		t.Fatalf("window sum = %g, want 550.5", w.Sum)
+	}
+	wantBuckets := []uint64{1, 0, 1, 1}
+	if len(w.Buckets) != len(wantBuckets) {
+		t.Fatalf("window has %d buckets, want %d", len(w.Buckets), len(wantBuckets))
+	}
+	for i, want := range wantBuckets {
+		if w.Buckets[i] != want {
+			t.Fatalf("window bucket %d = %d, want %d", i, w.Buckets[i], want)
+		}
+	}
+	if mean := w.Mean(); math.Abs(mean-550.5/3) > 1e-9 {
+		t.Fatalf("window mean = %g, want %g", mean, 550.5/3)
+	}
+}
+
+func TestSnapshotZeroValueDelta(t *testing.T) {
+	enabled.Store(true)
+	defer enabled.Store(false)
+	h := NewHistogram(DurationBuckets)
+	h.Observe(1e-3)
+	// Delta against a zero snapshot is the cumulative state: the
+	// idiom for "first window" in a controller that has no baseline.
+	w := h.Snapshot().Delta(HistSnapshot{})
+	if w.Count != 1 {
+		t.Fatalf("count = %d, want 1", w.Count)
+	}
+	if (HistSnapshot{}).Mean() != 0 {
+		t.Fatal("zero snapshot mean must be 0")
+	}
+	var nilHist *Histogram
+	if s := nilHist.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("nil histogram snapshot = %+v, want zero", s)
+	}
+}
+
+func TestSnapshotDeltaClampsAndShapeMismatch(t *testing.T) {
+	enabled.Store(true)
+	defer enabled.Store(false)
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	early := h.Snapshot()
+	h.Observe(0.5)
+	late := h.Snapshot()
+
+	// Out-of-order subtraction clamps instead of wrapping.
+	w := early.Delta(late)
+	if w.Count != 0 || w.Sum != 0 || w.Buckets[0] != 0 {
+		t.Fatalf("out-of-order delta = %+v, want zeros", w)
+	}
+
+	// Mismatched bucket shapes return the later snapshot unchanged.
+	other := NewHistogram([]float64{1, 2, 3})
+	other.Observe(1.5)
+	w = late.Delta(other.Snapshot())
+	if w.Count != late.Count || w.Sum != late.Sum {
+		t.Fatalf("shape-mismatch delta = %+v, want %+v", w, late)
+	}
+}
+
+// Concurrent Observe during Snapshot: every snapshot must be
+// internally sane (monotone count, bucket total == count) and the
+// final delta must account for every sample. Run under -race this
+// also proves the snapshot path is data-race free.
+func TestSnapshotConcurrentObserve(t *testing.T) {
+	enabled.Store(true)
+	defer enabled.Store(false)
+	h := NewHistogram([]float64{1, 10})
+
+	const goroutines = 4
+	const perG = 5000
+	base := h.Snapshot()
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	writers.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		var lastCount uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count < lastCount {
+				t.Error("snapshot count went backwards")
+				return
+			}
+			lastCount = s.Count
+			// No ordering is promised between the Count and Buckets
+			// fields; only each field is an atomic read, so the bucket
+			// total may run ahead of or behind Count by at most the
+			// number of in-flight observers.
+			var total uint64
+			for _, b := range s.Buckets {
+				total += b
+			}
+			diff := int64(total) - int64(s.Count)
+			if diff < -goroutines || diff > goroutines {
+				t.Errorf("bucket total %d vs count %d: skew beyond in-flight observers", total, s.Count)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+
+	w := h.Snapshot().Delta(base)
+	if w.Count != goroutines*perG {
+		t.Fatalf("final window count = %d, want %d", w.Count, goroutines*perG)
+	}
+	if math.Abs(w.Sum-0.5*goroutines*perG) > 1e-6 {
+		t.Fatalf("final window sum = %g, want %g", w.Sum, 0.5*goroutines*perG)
+	}
+}

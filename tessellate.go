@@ -309,6 +309,120 @@ func (e *Engine) RunND(g *NDGrid, s *GenericStencil, steps int, opt Options) err
 	return core.RunND(g, s, steps, &cfg, e.pool)
 }
 
+// Adaptive runs: a long-running engine can re-tune its tile
+// parameters mid-flight. Phases of TimeTile steps are separated by
+// full synchronization, so the phase boundary is the one point where
+// re-tiling is legal; RunAdaptive* pauses there and consults a Retuner
+// (typically autotune.Controller, which watches the live telemetry
+// histograms for drift). Results are bitwise identical to a
+// fixed-schedule run regardless of how often the retuner swaps tiles.
+
+// PhaseBoundary describes the state of an adaptive run at a legal
+// re-tiling point: every grid point has advanced exactly StepsDone of
+// StepsTotal steps and the worker pool is idle.
+type PhaseBoundary struct {
+	StepsDone  int
+	StepsTotal int
+	// Options is the tiling the finished segment ran with, with
+	// TimeTile and Block resolved to their effective values.
+	Options Options
+}
+
+// Retuner is consulted between phases of an adaptive run.
+// Implementations may inspect live telemetry, re-run measurements on
+// throwaway grids (the pool is idle at the boundary), or follow a
+// precomputed schedule.
+type Retuner interface {
+	// Phases returns how many phases (of TimeTile steps each) to run
+	// between consultations. Values < 1 are treated as 1.
+	Phases() int
+	// Retune is called at a phase boundary. Returning (next, true)
+	// re-tiles the remaining steps with next's TimeTile/Block/NoMerge
+	// (the scheme cannot change mid-run); returning (_, false) keeps
+	// the current tiling.
+	Retune(b PhaseBoundary) (next Options, retile bool)
+}
+
+// RunAdaptive1D is Run1D with mid-flight re-tuning; only the
+// tessellation scheme supports it.
+func (e *Engine) RunAdaptive1D(g *Grid1D, s *Stencil, steps int, opt Options, rt Retuner) error {
+	if err := checkAdaptive(s, 1, steps, opt); err != nil {
+		return err
+	}
+	n := []int{g.N}
+	cfg := tessConfig(n, s, opt)
+	return core.RunPhased1D(g, s, steps, &cfg, e.pool, phasesOf(rt), adaptiveHook(n, s, steps, rt))
+}
+
+// RunAdaptive2D is Run2D with mid-flight re-tuning; only the
+// tessellation scheme supports it.
+func (e *Engine) RunAdaptive2D(g *Grid2D, s *Stencil, steps int, opt Options, rt Retuner) error {
+	if err := checkAdaptive(s, 2, steps, opt); err != nil {
+		return err
+	}
+	n := []int{g.NX, g.NY}
+	cfg := tessConfig(n, s, opt)
+	return core.RunPhased2D(g, s, steps, &cfg, e.pool, phasesOf(rt), adaptiveHook(n, s, steps, rt))
+}
+
+// RunAdaptive3D is Run3D with mid-flight re-tuning; only the
+// tessellation scheme supports it.
+func (e *Engine) RunAdaptive3D(g *Grid3D, s *Stencil, steps int, opt Options, rt Retuner) error {
+	if err := checkAdaptive(s, 3, steps, opt); err != nil {
+		return err
+	}
+	n := []int{g.NX, g.NY, g.NZ}
+	cfg := tessConfig(n, s, opt)
+	return core.RunPhased3D(g, s, steps, &cfg, e.pool, phasesOf(rt), adaptiveHook(n, s, steps, rt))
+}
+
+func checkAdaptive(s *Stencil, dims, steps int, opt Options) error {
+	if steps < 0 {
+		return fmt.Errorf("tessellate: negative steps %d", steps)
+	}
+	if s.Dims != dims {
+		return fmt.Errorf("tessellate: %s is a %dD kernel, grid is %dD", s.Name, s.Dims, dims)
+	}
+	if opt.Scheme != Tessellation {
+		return fmt.Errorf("tessellate: adaptive runs support only the tessellation scheme, got %v", opt.Scheme)
+	}
+	return nil
+}
+
+func phasesOf(rt Retuner) int {
+	if rt == nil {
+		return 1
+	}
+	return rt.Phases()
+}
+
+// adaptiveHook bridges core's PhaseHook to the public Retuner: it
+// reports the effective tiling at each boundary and converts any
+// replacement Options back into a core.Config.
+func adaptiveHook(n []int, s *Stencil, steps int, rt Retuner) core.PhaseHook {
+	if rt == nil {
+		return nil
+	}
+	return func(done int, cur *core.Config) *core.Config {
+		b := PhaseBoundary{
+			StepsDone:  done,
+			StepsTotal: steps,
+			Options: Options{
+				TimeTile: cur.BT,
+				Block:    append([]int(nil), cur.Big...),
+				NoMerge:  !cur.Merge,
+			},
+		}
+		next, retile := rt.Retune(b)
+		if !retile {
+			return nil
+		}
+		next.Scheme = Tessellation
+		nc := tessConfig(n, s, next)
+		return &nc
+	}
+}
+
 // Telemetry: the runtime observability subsystem (internal/telemetry)
 // instruments the worker pool, the tessellation executors, the
 // distributed exchange and the benchmark harness. It is off by
