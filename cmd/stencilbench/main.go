@@ -11,8 +11,14 @@
 //	stencilbench -ablate               # coarsening / merging / tile-height ablation
 //	stencilbench -concurrency          # barriers & parallelism per scheme
 //	stencilbench -adaptive             # online re-tuning demo (pessimal seed vs adaptive)
+//	stencilbench -compare-placement    # dynamic vs sticky(+pin) scheduling comparison
 //	stencilbench -paper -fig 8         # full paper problem sizes (hours!)
 //	stencilbench -threads 1,2,4,8      # thread sweep points
+//
+// Scheduling & placement (see DESIGN.md §Scheduling & placement):
+//
+//	stencilbench -fig 10 -sticky -pin       # sticky block→worker mapping on pinned workers
+//	stencilbench -compare-placement -json BENCH_PAR.json
 //
 // Observability (see DESIGN.md §Observability):
 //
@@ -22,18 +28,23 @@
 // Flag matrix — exactly one mode flag per invocation, and the
 // modifiers each mode accepts:
 //
-//	mode          | -scale/-paper  -threads  -csv  -telemetry/-trace
-//	-list         |      no           no      no         no
-//	-fig <one>    |     yes          yes     yes        yes
-//	-fig all      |     yes          yes      no        yes
-//	-ablate       |     yes          yes      no        yes
-//	-concurrency  |     yes           no      no        yes
-//	-adaptive     |     yes          yes      no        yes
+//	mode                | -scale/-paper  -threads  -csv  -pin/-sticky  -telemetry/-trace
+//	-list               |      no           no      no        no              no
+//	-fig <one>          |     yes          yes     yes       yes             yes
+//	-fig all            |     yes          yes      no       yes             yes
+//	-ablate             |     yes          yes      no       yes             yes
+//	-concurrency        |     yes           no      no        no             yes
+//	-adaptive           |     yes          yes      no       yes             yes
+//	-compare-placement  |     yes          yes      no        no             yes
 //
 // -csv needs a single -fig to name the measurement sweep it exports;
 // combining it with -list, -ablate, -concurrency, -adaptive or
 // -fig all is an error rather than a silent no-op. -drift and
 // -interval tune the -adaptive controller and are ignored elsewhere.
+// -pin/-sticky apply the placement knobs to every measurement of the
+// run; -compare-placement measures all placements itself, so the knobs
+// are rejected there, and -json names its machine-readable output
+// (the BENCH_PAR.json schema).
 package main
 
 import (
@@ -62,6 +73,10 @@ func main() {
 		drift   = flag.Float64("drift", 0.5, "adaptive: relative mean-shift threshold that triggers a re-tune")
 		interva = flag.Int("interval", 4, "adaptive: phases between drift checks")
 		csvOut  = flag.String("csv", "", "write a figure's measurements as CSV to this file (requires a single -fig)")
+		pin     = flag.Bool("pin", false, "pin pool workers to CPU cores (linux; degrades to a no-op elsewhere)")
+		sticky  = flag.Bool("sticky", false, "use the sticky (static) block→worker mapping with work-stealing")
+		cmpPl   = flag.Bool("compare-placement", false, "compare dynamic vs sticky(+pin) scheduling on Heat-2D/3D and sweep dispatch overhead")
+		jsonOut = flag.String("json", "", "compare-placement: also write the report as JSON to this file (BENCH_PAR.json schema)")
 		telAddr = flag.String("telemetry", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. :8080) and enable instrumentation")
 		traceTo = flag.String("trace", "", "write a Chrome trace_event JSON dump of the run to this file (enables instrumentation)")
 	)
@@ -74,9 +89,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc || *adapt) {
-		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency, -adaptive or -fig all"))
+	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc || *adapt || *cmpPl) {
+		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency, -adaptive, -compare-placement or -fig all"))
 	}
+	if *cmpPl && (*pin || *sticky) {
+		fatal(fmt.Errorf("-compare-placement measures every placement itself; -pin/-sticky cannot be combined with it"))
+	}
+	if *jsonOut != "" && !*cmpPl {
+		fatal(fmt.Errorf("-json is only meaningful with -compare-placement"))
+	}
+	bench.SetPlacement(bench.Placement{Sticky: *sticky, Pin: *pin, FirstTouch: *sticky || *pin})
 
 	if *telAddr != "" || *traceTo != "" {
 		telemetry.Enable()
@@ -108,6 +130,10 @@ func main() {
 		}
 	case *adapt:
 		if err := runAdaptiveDemo(os.Stdout, *scale, ths[len(ths)-1], *drift, *interva); err != nil {
+			fatal(err)
+		}
+	case *cmpPl:
+		if err := runComparePlacement(os.Stdout, *scale, ths[len(ths)-1], *jsonOut); err != nil {
 			fatal(err)
 		}
 	case *fig == "all":

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"tessellate"
+	"tessellate/internal/bench"
+)
+
+// runComparePlacement drives bench.ComparePlacement, renders the
+// human-readable tables, and optionally writes the JSON report
+// (BENCH_PAR.json schema).
+func runComparePlacement(w io.Writer, scale, threads int, jsonPath string) error {
+	fmt.Fprintf(w, "placement comparison: heat-2d (fig 10) + heat-3d (fig 11a), 1/%d scale, %d threads\n", scale, threads)
+	if !tessellate.PinSupported() {
+		fmt.Fprintln(w, "note: CPU pinning unsupported on this platform; pinned modes run unpinned")
+	}
+	rep, err := bench.ComparePlacement(scale, threads)
+	if err != nil {
+		return err
+	}
+	if rep.PinError != "" {
+		fmt.Fprintf(w, "note: pinning degraded: %s\n", rep.PinError)
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tmode\tseconds\tMLUP/s\tvs dynamic")
+	for _, r := range rep.Placement {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.1f\t%.3fx\n",
+			r.Workload, r.Mode, r.Seconds, r.MUpdates, r.SpeedupVsDynamic)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\ndispatch overhead (empty body, ns per block):")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "n\tdynamic\tsticky")
+	for _, d := range rep.Dispatch {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\n", d.N, d.DynamicNsPerBlock, d.StickyNsPerBlock)
+	}
+	tw.Flush()
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote placement report to %s\n", jsonPath)
+	}
+	return nil
+}

@@ -23,6 +23,10 @@ type Trial struct {
 	Options  tessellate.Options
 	Seconds  float64
 	MUpdates float64 // millions of point updates per second
+	// Sticky/Pinned record the placement knobs the trial ran with
+	// (both false during the tile-search passes).
+	Sticky bool
+	Pinned bool
 }
 
 // Budget bounds the search.
@@ -49,7 +53,11 @@ func (b *Budget) defaults() {
 type Result struct {
 	Best     tessellate.Options
 	BestRate float64 // MUpdates/s of the best candidate
-	Trials   []Trial // every measured candidate, best first
+	// Sticky/Pinned are the winning placement knobs: pass them to
+	// EngineOptions (or SetSticky/SetPinned) alongside Best.
+	Sticky bool
+	Pinned bool
+	Trials []Trial // every measured candidate, best first
 }
 
 // Search tunes the tessellation parameters for the given stencil and
@@ -98,9 +106,39 @@ func Search(spec *tessellate.Stencil, dims []int, threads int, budget Budget) (R
 		}
 		res.Trials = append(res.Trials, tr)
 	}
+	// Placement refinement: tiles are settled, so re-measure the
+	// incumbent under the scheduling/placement knobs (sticky mapping,
+	// and CPU pinning where the platform and cgroup allow it). These
+	// are orthogonal to the tile geometry, so a single pass over the
+	// combinations suffices.
+	sort.Slice(res.Trials, func(i, j int) bool { return res.Trials[i].MUpdates > res.Trials[j].MUpdates })
+	best = res.Trials[0]
+	combos := []struct{ sticky, pin bool }{{sticky: true}}
+	if tessellate.PinSupported() {
+		combos = append(combos,
+			struct{ sticky, pin bool }{pin: true},
+			struct{ sticky, pin bool }{sticky: true, pin: true})
+	}
+	for _, c := range combos {
+		eng.SetSticky(c.sticky)
+		if err := eng.SetPinned(c.pin); c.pin && err != nil && !eng.Pinned() {
+			continue // environment refuses pinning entirely: nothing to measure
+		}
+		tr, err := measure(eng, spec, dims, best.Options, budget.MinSteps)
+		if err != nil {
+			return Result{}, err
+		}
+		tr.Sticky, tr.Pinned = c.sticky, c.pin
+		res.Trials = append(res.Trials, tr)
+	}
+	eng.SetSticky(false)
+	eng.SetPinned(false)
+
 	sort.Slice(res.Trials, func(i, j int) bool { return res.Trials[i].MUpdates > res.Trials[j].MUpdates })
 	res.Best = res.Trials[0].Options
 	res.BestRate = res.Trials[0].MUpdates
+	res.Sticky = res.Trials[0].Sticky
+	res.Pinned = res.Trials[0].Pinned
 	return res, nil
 }
 

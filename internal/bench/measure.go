@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strconv"
+	"strings"
 	"time"
 
 	"tessellate"
@@ -31,15 +32,65 @@ type Measurement struct {
 	Checksum float64
 }
 
+// Placement selects the scheduling/placement knobs a measurement runs
+// with (see tessellate.EngineOptions). The zero value is the classic
+// dynamic, unpinned, driver-allocated configuration.
+type Placement struct {
+	// Sticky enables the static block→worker mapping.
+	Sticky bool
+	// Pin pins workers to CPU cores (degrades to a recorded no-op
+	// where unavailable).
+	Pin bool
+	// FirstTouch allocates grids under the worker mapping so pages
+	// land on the touching worker's memory node.
+	FirstTouch bool
+}
+
+// String names the placement for reports ("dynamic" for the zero
+// value).
+func (p Placement) String() string {
+	var parts []string
+	if p.Sticky {
+		parts = append(parts, "sticky")
+	}
+	if p.Pin {
+		parts = append(parts, "pin")
+	}
+	if p.FirstTouch {
+		parts = append(parts, "firsttouch")
+	}
+	if len(parts) == 0 {
+		return "dynamic"
+	}
+	return strings.Join(parts, "+")
+}
+
+// defaultPlacement is what Run (the placement-agnostic entry point all
+// sweep modes share) applies; stencilbench's -pin/-sticky flags set it
+// process-wide via SetPlacement.
+var defaultPlacement Placement
+
+// SetPlacement sets the placement Run applies. Not safe to call
+// concurrently with measurements.
+func SetPlacement(p Placement) { defaultPlacement = p }
+
 // Run executes workload w with the given scheme and thread count and
-// returns the measurement. Grids are freshly allocated and seeded
-// deterministically so measurements are comparable across schemes.
+// returns the measurement, under the process-wide default placement.
+// Grids are freshly allocated and seeded deterministically so
+// measurements are comparable across schemes.
 func Run(w Workload, scheme tessellate.Scheme, threads int) (Measurement, error) {
+	return RunPlaced(w, scheme, threads, defaultPlacement)
+}
+
+// RunPlaced is Run with explicit placement knobs.
+func RunPlaced(w Workload, scheme tessellate.Scheme, threads int, p Placement) (Measurement, error) {
 	spec, err := tessellate.StencilByName(w.Kernel)
 	if err != nil {
 		return Measurement{}, err
 	}
-	eng := tessellate.NewEngine(threads)
+	eng := tessellate.NewEngineOpts(tessellate.EngineOptions{
+		Threads: threads, Pin: p.Pin, Sticky: p.Sticky,
+	})
 	defer eng.Close()
 	opt := w.Options(scheme)
 
@@ -47,17 +98,32 @@ func Run(w Workload, scheme tessellate.Scheme, threads int) (Measurement, error)
 	var sum func() float64
 	switch len(w.N) {
 	case 1:
-		g := tessellate.NewGrid1D(w.N[0], spec.MaxSlope())
+		var g *tessellate.Grid1D
+		if p.FirstTouch {
+			g = eng.AllocGrid1D(w.N[0], spec.MaxSlope())
+		} else {
+			g = tessellate.NewGrid1D(w.N[0], spec.MaxSlope())
+		}
 		seed1D(g, w.Kernel)
 		run = func() error { return eng.Run1D(g, spec, w.Steps, opt) }
 		sum = func() float64 { return checksum1D(g) }
 	case 2:
-		g := tessellate.NewGrid2D(w.N[0], w.N[1], spec.Slopes[0], spec.Slopes[1])
+		var g *tessellate.Grid2D
+		if p.FirstTouch {
+			g = eng.AllocGrid2D(w.N[0], w.N[1], spec.Slopes[0], spec.Slopes[1])
+		} else {
+			g = tessellate.NewGrid2D(w.N[0], w.N[1], spec.Slopes[0], spec.Slopes[1])
+		}
 		seed2D(g, w.Kernel)
 		run = func() error { return eng.Run2D(g, spec, w.Steps, opt) }
 		sum = func() float64 { return checksum2D(g) }
 	case 3:
-		g := tessellate.NewGrid3D(w.N[0], w.N[1], w.N[2], spec.Slopes[0], spec.Slopes[1], spec.Slopes[2])
+		var g *tessellate.Grid3D
+		if p.FirstTouch {
+			g = eng.AllocGrid3D(w.N[0], w.N[1], w.N[2], spec.Slopes[0], spec.Slopes[1], spec.Slopes[2])
+		} else {
+			g = tessellate.NewGrid3D(w.N[0], w.N[1], w.N[2], spec.Slopes[0], spec.Slopes[1], spec.Slopes[2])
+		}
 		seed3D(g, w.Kernel)
 		run = func() error { return eng.Run3D(g, spec, w.Steps, opt) }
 		sum = func() float64 { return checksum3D(g) }

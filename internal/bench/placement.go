@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"tessellate"
+	"tessellate/internal/par"
+)
+
+// Placement comparison: the experiment behind stencilbench's
+// -compare-placement mode and the committed BENCH_PAR.json. It answers
+// two questions the topology work raises: (1) does the sticky
+// block→worker mapping (with pinning and first-touch) change kernel
+// throughput, and (2) what is the raw per-block dispatch overhead of
+// sticky vs dynamic scheduling.
+
+// PlacementModes are the configurations ComparePlacement measures, in
+// order: the dynamic baseline, the cache-affinity mapping, and the
+// full topology-aware stack.
+var PlacementModes = []Placement{
+	{},
+	{Sticky: true, FirstTouch: true},
+	{Sticky: true, Pin: true, FirstTouch: true},
+}
+
+// PlacementResult is one (workload, placement) measurement.
+type PlacementResult struct {
+	Workload   string  `json:"workload"`
+	Kernel     string  `json:"kernel"`
+	Mode       string  `json:"mode"`
+	Sticky     bool    `json:"sticky"`
+	Pin        bool    `json:"pin"`
+	FirstTouch bool    `json:"first_touch"`
+	Seconds    float64 `json:"seconds"`
+	MUpdates   float64 `json:"mupdates"`
+	// SpeedupVsDynamic is MUpdates relative to the dynamic baseline of
+	// the same workload (1.0 for the baseline itself).
+	SpeedupVsDynamic float64 `json:"speedup_vs_dynamic"`
+	Checksum         float64 `json:"checksum"`
+}
+
+// DispatchPoint is the per-block scheduling overhead at one region
+// size, measured with an empty-weight body so only dispatch remains.
+type DispatchPoint struct {
+	N                 int     `json:"n"`
+	DynamicNsPerBlock float64 `json:"dynamic_ns_per_block"`
+	StickyNsPerBlock  float64 `json:"sticky_ns_per_block"`
+}
+
+// PlacementReport is the full -compare-placement output (the schema of
+// BENCH_PAR.json).
+type PlacementReport struct {
+	Threads     int               `json:"threads"`
+	Scale       int               `json:"scale"`
+	PinSupport  bool              `json:"pin_supported"`
+	PinError    string            `json:"pin_error,omitempty"`
+	Placement   []PlacementResult `json:"placement"`
+	Dispatch    []DispatchPoint   `json:"dispatch"`
+	GeneratedBy string            `json:"generated_by"`
+}
+
+// ComparePlacement measures dynamic vs sticky(+pin,+first-touch)
+// tessellation throughput on the Heat-2D (fig. 10) and Heat-3D
+// (fig. 11a) workloads at the given scale and thread count, verifying
+// every mode's checksum against the naive scheme, and sweeps the
+// dispatch overhead microbenchmark.
+func ComparePlacement(scale, threads int) (PlacementReport, error) {
+	rep := PlacementReport{
+		Threads:     threads,
+		Scale:       scale,
+		PinSupport:  tessellate.PinSupported(),
+		GeneratedBy: "stencilbench -compare-placement",
+	}
+	workloads := []Workload{
+		ByFigure("10")[0].Scaled(scale),  // heat-2d
+		ByFigure("11a")[0].Scaled(scale), // heat-3d
+	}
+	for _, w := range workloads {
+		// The naive sweep is the ground truth every placement mode
+		// must reproduce bit-for-bit (checksums are deterministic
+		// sums over a fixed iteration order).
+		ref, err := RunPlaced(w, tessellate.Naive, threads, Placement{})
+		if err != nil {
+			return rep, err
+		}
+		var baseline float64
+		for _, p := range PlacementModes {
+			m, err := RunPlaced(w, tessellate.Tessellation, threads, p)
+			if err != nil {
+				return rep, err
+			}
+			if m.Checksum != ref.Checksum {
+				return rep, fmt.Errorf("bench: %s placement %v checksum %v != naive %v",
+					w, p, m.Checksum, ref.Checksum)
+			}
+			if baseline == 0 {
+				baseline = m.MUpdates
+			}
+			rep.Placement = append(rep.Placement, PlacementResult{
+				Workload:         w.String(),
+				Kernel:           w.Kernel,
+				Mode:             p.String(),
+				Sticky:           p.Sticky,
+				Pin:              p.Pin,
+				FirstTouch:       p.FirstTouch,
+				Seconds:          m.Seconds,
+				MUpdates:         m.MUpdates,
+				SpeedupVsDynamic: m.MUpdates / baseline,
+				Checksum:         m.Checksum,
+			})
+		}
+	}
+	rep.Dispatch = MeasureDispatch(threads)
+	if err := pinProbe(threads); err != nil {
+		rep.PinError = err.Error()
+	}
+	return rep, nil
+}
+
+// pinProbe reports whether pinning actually engages in this
+// environment (distinct from platform support: cgroups may refuse).
+func pinProbe(threads int) error {
+	p := par.NewPoolOpts(threads, par.PoolOptions{Pin: true})
+	defer p.Close()
+	return p.PinError()
+}
+
+// dispatchSizes is the region-size sweep of the dispatch
+// microbenchmark: from stages smaller than the worker count up to the
+// largest block counts the schedule generator emits.
+var dispatchSizes = []int{16, 64, 256, 1024, 4096, 16384}
+
+// MeasureDispatch times an empty-body parallel-for in both scheduling
+// modes across region sizes, reporting ns per block. threads <= 0
+// selects GOMAXPROCS.
+func MeasureDispatch(threads int) []DispatchPoint {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	pool := par.NewPoolOpts(threads, par.PoolOptions{})
+	defer pool.Close()
+	// Per-worker cache-line-padded sinks: the body must not introduce
+	// contention of its own, or it would mask the dispatch cost.
+	type paddedCount struct {
+		v int64
+		_ [56]byte
+	}
+	sinks := make([]paddedCount, threads)
+	body := func(i, w int) { sinks[w%threads].v++ }
+
+	timeMode := func(n int, sticky bool) float64 {
+		pool.SetSticky(sticky)
+		for r := 0; r < 3; r++ {
+			pool.ForSticky(n, body) // warmup
+		}
+		reps := 1 + 1<<18/n
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			pool.ForSticky(n, body)
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(reps) / float64(n)
+	}
+
+	out := make([]DispatchPoint, 0, len(dispatchSizes))
+	for _, n := range dispatchSizes {
+		out = append(out, DispatchPoint{
+			N:                 n,
+			DynamicNsPerBlock: timeMode(n, false),
+			StickyNsPerBlock:  timeMode(n, true),
+		})
+	}
+	return out
+}

@@ -25,7 +25,7 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
-		pool.For(len(r.Blocks), func(bi int) {
+		pool.ForSticky(len(r.Blocks), func(bi, wkr int) {
 			b := &r.Blocks[bi]
 			var lo, hi [1]int
 			var pts int64
@@ -38,7 +38,7 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 				}
 				s.K1(g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1], lo[0]+h, hi[0]+h)
 			}
-			sp.addPoints(pts)
+			sp.addPoints(wkr, pts)
 		})
 		sp.end(cfg, &r, ri)
 	}
@@ -62,7 +62,7 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
-		pool.For(len(r.Blocks), func(bi int) {
+		pool.ForSticky(len(r.Blocks), func(bi, wkr int) {
 			b := &r.Blocks[bi]
 			var lo, hi [2]int
 			var pts int64
@@ -81,7 +81,7 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 					base += g.SY
 				}
 			}
-			sp.addPoints(pts)
+			sp.addPoints(wkr, pts)
 		})
 		sp.end(cfg, &r, ri)
 	}
@@ -105,7 +105,7 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
-		pool.For(len(r.Blocks), func(bi int) {
+		pool.ForSticky(len(r.Blocks), func(bi, wkr int) {
 			b := &r.Blocks[bi]
 			var lo, hi [3]int
 			var pts int64
@@ -128,7 +128,7 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 					xBase += g.SX
 				}
 			}
-			sp.addPoints(pts)
+			sp.addPoints(wkr, pts)
 		})
 		sp.end(cfg, &r, ri)
 	}
@@ -159,7 +159,7 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
-		pool.For(len(r.Blocks), func(bi int) {
+		pool.ForSticky(len(r.Blocks), func(bi, wkr int) {
 			b := &r.Blocks[bi]
 			lo := make([]int, d)
 			hi := make([]int, d)
@@ -189,7 +189,7 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 					}
 				}
 			}
-			sp.addPoints(pts)
+			sp.addPoints(wkr, pts)
 		})
 		sp.end(cfg, &r, ri)
 	}

@@ -25,12 +25,15 @@ func beginRegion() *regionSpan {
 }
 
 // addPoints accumulates point updates; safe for concurrent block
-// closures and on a nil span.
-func (sp *regionSpan) addPoints(n int64) {
+// closures and on a nil span. worker is the pool worker id running the
+// closure: the global points counter is sharded per worker so the hot
+// path never bounces a shared cache line between cores.
+func (sp *regionSpan) addPoints(worker int, n int64) {
 	if sp == nil {
 		return
 	}
 	atomic.AddInt64(&sp.points, n)
+	telemetry.PointsUpdated.Add(worker, uint64(n))
 }
 
 // end records the region's metrics and trace event. index is the
@@ -45,7 +48,6 @@ func (sp *regionSpan) end(cfg *Config, r *Region, index int) {
 	}
 	telemetry.StageDuration.Histogram(kind).Observe(time.Since(sp.start).Seconds())
 	telemetry.BlocksExecuted.Add(uint64(len(r.Blocks)))
-	telemetry.PointsUpdated.Add(uint64(sp.points))
 	telemetry.DefaultTracer.RecordSpan(telemetry.Event{
 		Name:   kind,
 		Cat:    "core",

@@ -148,7 +148,7 @@ func RunNDPeriodic(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, 
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for _, r := range cfg.periodicRegions(steps) {
 		r := r
-		pool.For(len(r.Blocks), func(bi int) {
+		pool.ForSticky(len(r.Blocks), func(bi, _ int) {
 			b := &r.Blocks[bi]
 			lo := make([]int, d)
 			hi := make([]int, d)

@@ -1,0 +1,13 @@
+package par
+
+import "errors"
+
+// errAffinityUnsupported is returned by the affinity shims on platforms
+// without sched_setaffinity (see affinity_stub.go). Callers degrade to
+// unpinned execution and surface the reason through Pool.PinError.
+var errAffinityUnsupported = errors.New("par: CPU affinity is not supported on this platform")
+
+// AffinitySupported reports whether this platform can pin worker
+// threads to CPU cores (true on linux). When false, Pool.SetPinned is
+// a recorded no-op and everything else behaves identically.
+func AffinitySupported() bool { return affinitySupported() }

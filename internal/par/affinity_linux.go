@@ -1,0 +1,80 @@
+//go:build linux
+
+package par
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// Thread affinity via raw sched_{get,set}affinity syscalls: the
+// syscall package exposes the syscall numbers on linux, so no cgo and
+// no external dependency is needed. pid 0 addresses the calling
+// thread, which is why callers must hold runtime.LockOSThread before
+// pinning — otherwise the Go scheduler may migrate the goroutine off
+// the thread whose mask was just set.
+
+// cpuMask is a linux cpu_set_t sized for 1024 CPUs (the kernel copies
+// min(len, its own mask size), so oversizing is harmless).
+type cpuMask [16]uint64
+
+func (m *cpuMask) set(cpu int) {
+	if cpu < 0 || cpu >= len(m)*64 {
+		return
+	}
+	m[cpu/64] |= 1 << (uint(cpu) % 64)
+}
+
+func (m *cpuMask) isSet(cpu int) bool {
+	return m[cpu/64]&(1<<(uint(cpu)%64)) != 0
+}
+
+func affinitySupported() bool { return true }
+
+// allowedCPUs returns the CPUs the calling thread may run on, in
+// ascending order. This is the cgroup/taskset-visible set, not the
+// machine's full topology, so pinning respects container CPU limits.
+func allowedCPUs() ([]int, error) {
+	var m cpuMask
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(unsafe.Sizeof(m)), uintptr(unsafe.Pointer(&m)))
+	if errno != 0 {
+		return nil, fmt.Errorf("sched_getaffinity: %w", errno)
+	}
+	var cpus []int
+	for c := 0; c < len(m)*64; c++ {
+		if m.isSet(c) {
+			cpus = append(cpus, c)
+		}
+	}
+	return cpus, nil
+}
+
+func setAffinityMask(m *cpuMask) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(unsafe.Sizeof(*m)), uintptr(unsafe.Pointer(m)))
+	if errno != 0 {
+		return fmt.Errorf("sched_setaffinity: %w", errno)
+	}
+	return nil
+}
+
+// setThreadAffinity pins the calling OS thread to a single CPU. A
+// package variable so degradation tests can inject EPERM (restricted
+// cgroups deny sched_setaffinity even for a process's own threads).
+var setThreadAffinity = func(cpu int) error {
+	var m cpuMask
+	m.set(cpu)
+	return setAffinityMask(&m)
+}
+
+// resetThreadAffinity restores the calling thread's mask to the given
+// CPU set (normally the allowed set captured before pinning).
+var resetThreadAffinity = func(cpus []int) error {
+	var m cpuMask
+	for _, c := range cpus {
+		m.set(c)
+	}
+	return setAffinityMask(&m)
+}

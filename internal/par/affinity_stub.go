@@ -1,0 +1,16 @@
+//go:build !linux
+
+package par
+
+// Non-linux stub: affinity syscalls do not exist (darwin) or need a
+// different API (windows), so pinning degrades to a recorded no-op.
+// The variables mirror the linux shims so the pool code is identical
+// on every platform.
+
+func affinitySupported() bool { return false }
+
+func allowedCPUs() ([]int, error) { return nil, errAffinityUnsupported }
+
+var setThreadAffinity = func(cpu int) error { return errAffinityUnsupported }
+
+var resetThreadAffinity = func(cpus []int) error { return errAffinityUnsupported }

@@ -1,0 +1,134 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// covers asserts a pool still executes a full parallel-for correctly —
+// the invariant every pinning degradation path must preserve.
+func covers(t *testing.T, p *Pool, n int) {
+	t.Helper()
+	seen := make([]atomic.Int32, n)
+	p.ForSticky(n, func(i, _ int) { seen[i].Add(1) })
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("iteration %d ran %d times", i, got)
+		}
+	}
+}
+
+// SetPinned either pins every worker or records why it could not; in
+// both cases the pool keeps working.
+func TestSetPinnedPinsOrRecords(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	err := p.SetPinned(true)
+	switch {
+	case !AffinitySupported():
+		if !errors.Is(err, errAffinityUnsupported) {
+			t.Fatalf("unsupported platform returned %v", err)
+		}
+		if p.PinError() == nil || p.PinnedWorkers() != 0 || p.Pinned() {
+			t.Fatal("unsupported platform left pinning state inconsistent")
+		}
+	case err != nil:
+		// Supported platform but the environment (cgroup) refused:
+		// degraded, with the cause recorded.
+		if p.PinError() == nil {
+			t.Fatal("SetPinned failed without recording PinError")
+		}
+	default:
+		if got := p.PinnedWorkers(); got != 2 {
+			t.Fatalf("PinnedWorkers = %d, want 2", got)
+		}
+		for w, cpu := range p.Placement() {
+			if cpu < 0 {
+				t.Fatalf("worker %d unplaced after successful pin", w)
+			}
+		}
+	}
+	covers(t, p, 300)
+
+	if err := p.SetPinned(false); err != nil {
+		t.Fatalf("SetPinned(false) = %v", err)
+	}
+	if p.Pinned() || p.PinnedWorkers() != 0 {
+		t.Fatal("unpin left workers placed")
+	}
+	for w, cpu := range p.Placement() {
+		if cpu != -1 {
+			t.Fatalf("worker %d placement %d after unpin, want -1", w, cpu)
+		}
+	}
+	covers(t, p, 300)
+}
+
+// An EPERM-style refusal from the kernel (restricted cgroups deny
+// sched_setaffinity) must degrade to unpinned execution: error
+// reported, PinError recorded, Pinned() back to false so the serial
+// fast path returns, and the pool fully correct.
+func TestSetPinnedKernelRefusalDegrades(t *testing.T) {
+	if !AffinitySupported() {
+		t.Skip("affinity stub platform: injection point unreachable")
+	}
+	eperm := errors.New("sched_setaffinity: operation not permitted")
+	saved := setThreadAffinity
+	setThreadAffinity = func(cpu int) error { return eperm }
+	defer func() { setThreadAffinity = saved }()
+
+	p := NewPool(3)
+	defer p.Close()
+	err := p.SetPinned(true)
+	if !errors.Is(err, eperm) {
+		t.Fatalf("SetPinned = %v, want injected EPERM", err)
+	}
+	if !errors.Is(p.PinError(), eperm) {
+		t.Fatalf("PinError = %v, want injected EPERM", p.PinError())
+	}
+	if p.Pinned() {
+		t.Fatal("fully-refused pin left Pinned() true")
+	}
+	if got := p.PinnedWorkers(); got != 0 {
+		t.Fatalf("PinnedWorkers = %d after full refusal", got)
+	}
+	covers(t, p, 300)
+}
+
+// NewPoolOpts{Pin: true} must never fail construction, whatever the
+// platform says; ForSticky with every knob on stays correct, including
+// the single-worker pool where pinning disables the inline fast path.
+func TestNewPoolOptsPinnedConstruction(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPoolOpts(workers, PoolOptions{Pin: true, Sticky: true})
+		if p.Workers() != workers {
+			t.Fatalf("Workers = %d, want %d", p.Workers(), workers)
+		}
+		covers(t, p, 200)
+		covers(t, p, 1) // n=1 with pinning on: must dispatch, not inline
+		p.Close()
+	}
+}
+
+// An explicit CPU list is honoured (round-robin) when pinning works.
+func TestPoolOptionsExplicitCPUs(t *testing.T) {
+	if !AffinitySupported() {
+		t.Skip("no affinity on this platform")
+	}
+	allowed, err := allowedCPUs()
+	if err != nil || len(allowed) == 0 {
+		t.Skipf("allowedCPUs: %v", err)
+	}
+	p := NewPoolOpts(3, PoolOptions{Pin: true, CPUs: allowed[:1]})
+	defer p.Close()
+	if p.PinError() != nil {
+		t.Skipf("environment refuses pinning: %v", p.PinError())
+	}
+	for w, cpu := range p.Placement() {
+		if cpu != allowed[0] {
+			t.Fatalf("worker %d on cpu %d, want %d", w, cpu, allowed[0])
+		}
+	}
+	covers(t, p, 300)
+}

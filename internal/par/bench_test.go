@@ -28,6 +28,30 @@ func BenchmarkPoolForLarge(b *testing.B) {
 	}
 }
 
+// Sticky dispatch pays per-worker deque reloads instead of a shared
+// cursor; these benches compare the two modes' per-region overhead
+// (see also bench.MeasureDispatch, which sweeps n for BENCH_PAR.json).
+
+func BenchmarkPoolForStickySmall(b *testing.B) {
+	p := NewPoolOpts(0, PoolOptions{Sticky: true})
+	defer p.Close()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForSticky(16, func(j, w int) { sink.Add(1) })
+	}
+}
+
+func BenchmarkPoolForStickyLarge(b *testing.B) {
+	p := NewPoolOpts(0, PoolOptions{Sticky: true})
+	defer p.Close()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForSticky(4096, func(j, w int) { sink.Add(1) })
+	}
+}
+
 func BenchmarkLimiterPar(b *testing.B) {
 	l := NewLimiter(4)
 	for i := 0; i < b.N; i++ {

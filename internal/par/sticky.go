@@ -1,0 +1,78 @@
+package par
+
+import "sync/atomic"
+
+// stickyQueue is one worker's slice of a sticky parallel-for: the
+// half-open index range the static partition assigned to that worker.
+// The owner claims chunks from the front; idle workers steal halves
+// from the back, so stolen work is the work farthest from what the
+// owner will touch next.
+//
+// Both cursors live in one atomic word — next in the high 32 bits,
+// limit in the low 32 — so a claim and a steal can never partially
+// interleave: each is a single CAS, and a lost race just retries.
+// Ranges are limited to 32-bit indices; parFor falls back to dynamic
+// scheduling for larger trip counts (no stencil stage comes close).
+type stickyQueue struct {
+	state atomic.Uint64
+	_     [56]byte // pad to a cache line: neighbours must not false-share
+}
+
+func packRange(next, limit int) uint64 {
+	return uint64(uint32(next))<<32 | uint64(uint32(limit))
+}
+
+func unpackRange(s uint64) (next, limit int) {
+	return int(s >> 32), int(uint32(s))
+}
+
+// reset loads the queue with the half-open range [start, end).
+func (q *stickyQueue) reset(start, end int) {
+	q.state.Store(packRange(start, end))
+}
+
+// claim takes the owner's next chunk from the front: an eighth of what
+// remains, at least one item. Returns ok=false when the queue is
+// empty.
+func (q *stickyQueue) claim() (start, end int, ok bool) {
+	for {
+		s := q.state.Load()
+		next, limit := unpackRange(s)
+		if next >= limit {
+			return 0, 0, false
+		}
+		take := (limit - next) / 8
+		if take < 1 {
+			take = 1
+		}
+		if q.state.CompareAndSwap(s, packRange(next+take, limit)) {
+			return next, next + take, true
+		}
+	}
+}
+
+// stealHalf takes the back half of what remains (at least one item).
+// Returns ok=false when there is nothing to steal.
+func (q *stickyQueue) stealHalf() (start, end int, ok bool) {
+	for {
+		s := q.state.Load()
+		next, limit := unpackRange(s)
+		rem := limit - next
+		if rem <= 0 {
+			return 0, 0, false
+		}
+		take := (rem + 1) / 2
+		if q.state.CompareAndSwap(s, packRange(next, limit-take)) {
+			return limit - take, limit, true
+		}
+	}
+}
+
+// remaining reports how many items are still unclaimed (for tests).
+func (q *stickyQueue) remaining() int {
+	next, limit := unpackRange(q.state.Load())
+	if next >= limit {
+		return 0
+	}
+	return limit - next
+}

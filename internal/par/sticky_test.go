@@ -1,0 +1,231 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tessellate/internal/telemetry"
+)
+
+func TestStickyQueueClaimAndSteal(t *testing.T) {
+	var q stickyQueue
+	q.reset(0, 100)
+	if got := q.remaining(); got != 100 {
+		t.Fatalf("remaining = %d, want 100", got)
+	}
+	s, e, ok := q.claim()
+	if !ok || s != 0 || e != 12 { // (100-0)/8 = 12 from the front
+		t.Fatalf("claim = [%d,%d) ok=%v, want [0,12)", s, e, ok)
+	}
+	s, e, ok = q.stealHalf()
+	if !ok || s != 56 || e != 100 { // half of the remaining 88, from the back
+		t.Fatalf("stealHalf = [%d,%d) ok=%v, want [56,100)", s, e, ok)
+	}
+
+	// Empty queue refuses both.
+	q.reset(7, 7)
+	if _, _, ok := q.claim(); ok {
+		t.Fatal("claim on empty queue succeeded")
+	}
+	if _, _, ok := q.stealHalf(); ok {
+		t.Fatal("stealHalf on empty queue succeeded")
+	}
+
+	// A single item goes to whoever gets there first, whole.
+	q.reset(41, 42)
+	s, e, ok = q.stealHalf()
+	if !ok || s != 41 || e != 42 {
+		t.Fatalf("stealHalf on 1 item = [%d,%d) ok=%v", s, e, ok)
+	}
+}
+
+// One owner claiming and several thieves stealing concurrently must
+// hand out every index exactly once.
+func TestStickyQueueExactlyOnceUnderContention(t *testing.T) {
+	const n = 1 << 14
+	var q stickyQueue
+	q.reset(0, n)
+	seen := make([]atomic.Int32, n)
+	take := func(s, e int) {
+		for i := s; i < e; i++ {
+			seen[i].Add(1)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // owner
+		defer wg.Done()
+		for {
+			s, e, ok := q.claim()
+			if !ok {
+				return
+			}
+			take(s, e)
+		}
+	}()
+	for th := 0; th < 3; th++ {
+		go func() { // thieves
+			defer wg.Done()
+			for {
+				s, e, ok := q.stealHalf()
+				if !ok {
+					return
+				}
+				take(s, e)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d handed out %d times", i, got)
+		}
+	}
+}
+
+func TestPoolForStickyCoversAllIterations(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPoolOpts(workers, PoolOptions{Sticky: true})
+		// n below, at, and above the worker count; 0 and 1 hit the
+		// serial fast path, 2 and 7 exercise empty/short partitions.
+		for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+			seen := make([]atomic.Int32, n)
+			var badWorker atomic.Bool
+			p.ForSticky(n, func(i, w int) {
+				if w < 0 || w >= workers {
+					badWorker.Store(true)
+				}
+				seen[i].Add(1)
+			})
+			if badWorker.Load() {
+				t.Fatalf("workers=%d n=%d: worker id out of range", workers, n)
+			}
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: iteration %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// ForSticky on a pool with sticky mode off must behave exactly like
+// For, still passing a valid worker id.
+func TestForStickyDynamicFallback(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.StickyEnabled() {
+		t.Fatal("sticky on by default")
+	}
+	seen := make([]atomic.Int32, 500)
+	p.ForSticky(500, func(i, w int) {
+		if w < 0 || w >= 4 {
+			t.Errorf("worker id %d out of range", w)
+		}
+		seen[i].Add(1)
+	})
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, seen[i].Load())
+		}
+	}
+	p.SetSticky(true)
+	if !p.StickyEnabled() {
+		t.Fatal("SetSticky(true) did not stick")
+	}
+}
+
+// A panicking body under sticky scheduling must not deadlock, must
+// surface the panic, and must leave the pool fully usable — the same
+// guarantee the dynamic path has.
+func TestPoolForStickyPanickingBody(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := NewPoolOpts(4, PoolOptions{Sticky: true})
+	for round := 0; round < 3; round++ {
+		done := make(chan any, 1)
+		go func() {
+			done <- recoverPanic(func() {
+				p.ForSticky(100, func(i, _ int) {
+					if i == 37 {
+						panic("boom")
+					}
+				})
+			})
+		}()
+		select {
+		case v := <-done:
+			if v != "boom" {
+				t.Fatalf("round %d: ForSticky panicked with %v, want \"boom\"", round, v)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: ForSticky deadlocked on a panicking body", round)
+		}
+		var ran atomic.Int32
+		ok := make(chan struct{})
+		go func() {
+			p.ForSticky(1000, func(int, int) { ran.Add(1) })
+			close(ok)
+		}()
+		select {
+		case <-ok:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: pool unusable after panic", round)
+		}
+		if got := ran.Load(); got != 1000 {
+			t.Fatalf("round %d: %d iterations after panic, want 1000", round, got)
+		}
+	}
+	p.Close()
+	waitGoroutines(t, base)
+}
+
+// When one worker's range is slow, the others must steal it rather
+// than idle: with worker 0 sleeping per item, the region finishes and
+// the steal counter moves.
+func TestStickyStealsCoverTail(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	p := NewPoolOpts(2, PoolOptions{Sticky: true})
+	defer p.Close()
+
+	const n = 16
+	stealsBefore := telemetry.PoolSteals.Value()
+	blocksBefore := telemetry.PoolBlocksSticky.Value()
+	seen := make([]atomic.Int32, n)
+	p.ForSticky(n, func(i, w int) {
+		if i < n/2 {
+			// Worker 0's own half crawls; worker 1 should finish its
+			// half and take over the back of this one.
+			time.Sleep(2 * time.Millisecond)
+		}
+		seen[i].Add(1)
+	})
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, seen[i].Load())
+		}
+	}
+	if got := telemetry.PoolBlocksSticky.Value() - blocksBefore; got != n {
+		t.Fatalf("sticky blocks counter moved by %d, want %d", got, n)
+	}
+	if telemetry.PoolSteals.Value() == stealsBefore {
+		t.Fatal("no steals recorded while one worker slept through its range")
+	}
+}
+
+// broadcast must run fn exactly once on every distinct worker.
+func TestBroadcastDistinctWorkers(t *testing.T) {
+	p := NewPool(6)
+	defer p.Close()
+	seen := make([]atomic.Int32, 6)
+	p.broadcast(func(w int) { seen[w].Add(1) })
+	for w := range seen {
+		if got := seen[w].Load(); got != 1 {
+			t.Fatalf("worker %d ran broadcast fn %d times, want 1", w, got)
+		}
+	}
+}

@@ -25,6 +25,15 @@ func BenchmarkDisabledCounterAdd(b *testing.B) {
 	}
 }
 
+func BenchmarkDisabledShardedCounterAdd(b *testing.B) {
+	Disable()
+	var c ShardedCounter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(i&7, 1)
+	}
+}
+
 func BenchmarkDisabledGaugeSet(b *testing.B) {
 	Disable()
 	b.ResetTimer()

@@ -39,6 +39,35 @@ var (
 	PoolWorkersBusy = Default.NewGauge(
 		"tess_pool_workers_busy",
 		"Pool workers currently executing a parallel-for job.").Gauge()
+	// PoolBlocksFamily counts parallel-for iterations executed, by
+	// scheduling mode ("dynamic" chunked self-scheduling vs "sticky"
+	// static mapping). Sharded per worker: every worker bumps it on
+	// every claimed chunk, so a shared line would ping-pong.
+	PoolBlocksFamily = Default.NewShardedCounter(
+		"tess_pool_blocks_total",
+		"Parallel-for iterations executed, by scheduling mode.",
+		"mode")
+	// PoolBlocksDynamic / PoolBlocksSticky are the cached per-mode
+	// children of PoolBlocksFamily.
+	PoolBlocksDynamic = PoolBlocksFamily.ShardedCounter("dynamic")
+	PoolBlocksSticky  = PoolBlocksFamily.ShardedCounter("sticky")
+	// PoolSteals counts work-steal operations performed by sticky
+	// parallel-for runners that drained their own range.
+	PoolSteals = Default.NewShardedCounter(
+		"tess_pool_steals_total",
+		"Work-steal operations by sticky parallel-for runners.").ShardedCounter()
+	// PoolWorkerCPU is the CPU core each pool worker is pinned to, or
+	// -1 while unpinned. Written ungated at (re)pin time so the
+	// placement is correct whenever telemetry is enabled later.
+	PoolWorkerCPU = Default.NewGauge(
+		"tess_pool_worker_cpu",
+		"CPU core the pool worker is pinned to (-1 when unpinned).",
+		"worker")
+	// PoolWorkersPinned is the number of workers currently pinned to a
+	// dedicated CPU core.
+	PoolWorkersPinned = Default.NewGauge(
+		"tess_pool_workers_pinned",
+		"Pool workers currently pinned to a CPU core.").Gauge()
 )
 
 // internal/core — the tessellation executors.
@@ -54,10 +83,12 @@ var (
 		"tess_blocks_executed_total",
 		"Tessellation blocks executed across all parallel regions.").Counter()
 	// PointsUpdated counts grid point updates performed by the
-	// tessellation executors.
-	PointsUpdated = Default.NewCounter(
+	// tessellation executors. Sharded per worker: every block closure
+	// adds its point count, and under high worker counts a single
+	// cache line would ping-pong (ROADMAP item).
+	PointsUpdated = Default.NewShardedCounter(
 		"tess_points_updated_total",
-		"Grid point updates performed by the tessellation executors.").Counter()
+		"Grid point updates performed by the tessellation executors.").ShardedCounter()
 )
 
 // internal/dist — distributed-memory exchange.

@@ -33,6 +33,10 @@ func (f *Family) write(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, lbl, m.Value()); err != nil {
 				return err
 			}
+		case *ShardedCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, lbl, m.Value()); err != nil {
+				return err
+			}
 		case *Gauge:
 			if _, err := fmt.Fprintf(w, "%s%s %g\n", f.Name, lbl, m.Value()); err != nil {
 				return err

@@ -94,6 +94,18 @@ func (g *Gauge) AddUngated(delta float64) {
 	g.addUngated(delta)
 }
 
+// SetUngated stores v regardless of the subsystem's enabled state
+// (still a no-op on a nil gauge). It is for configuration-style gauges
+// written at rare reconfiguration points (e.g. worker→CPU placement):
+// the value must be correct whenever telemetry is enabled later, even
+// though it was recorded while disabled.
+func (g *Gauge) SetUngated(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
 func (g *Gauge) addUngated(delta float64) {
 	for {
 		old := g.bits.Load()
@@ -207,7 +219,8 @@ type Family struct {
 	Kind   Kind
 	Labels []string
 
-	bounds []float64 // histogram families only
+	bounds  []float64 // histogram families only
+	sharded bool      // counter families only: children are ShardedCounters
 
 	mu       sync.RWMutex
 	children map[string]any
@@ -237,12 +250,14 @@ func (f *Family) child(lvs []string) any {
 		return c
 	}
 	var c2 any
-	switch f.Kind {
-	case KindCounter:
+	switch {
+	case f.Kind == KindCounter && f.sharded:
+		c2 = new(ShardedCounter)
+	case f.Kind == KindCounter:
 		c2 = new(Counter)
-	case KindGauge:
+	case f.Kind == KindGauge:
 		c2 = new(Gauge)
-	case KindHistogram:
+	case f.Kind == KindHistogram:
 		c2 = NewHistogram(f.bounds)
 	}
 	f.children[k] = c2
@@ -253,10 +268,19 @@ func (f *Family) child(lvs []string) any {
 // Counter returns (creating if needed) the child for the given label
 // values. Hot paths should cache the returned handle.
 func (f *Family) Counter(labelValues ...string) *Counter {
-	if f.Kind != KindCounter {
-		panic("telemetry: " + f.Name + " is not a counter family")
+	if f.Kind != KindCounter || f.sharded {
+		panic("telemetry: " + f.Name + " is not a plain counter family")
 	}
 	return f.child(labelValues).(*Counter)
+}
+
+// ShardedCounter returns (creating if needed) the sharded child for
+// the given label values. Hot paths should cache the returned handle.
+func (f *Family) ShardedCounter(labelValues ...string) *ShardedCounter {
+	if f.Kind != KindCounter || !f.sharded {
+		panic("telemetry: " + f.Name + " is not a sharded counter family")
+	}
+	return f.child(labelValues).(*ShardedCounter)
 }
 
 // Gauge returns (creating if needed) the child for the given label
@@ -309,11 +333,11 @@ func NewRegistry() *Registry {
 // one the HTTP exposition serves.
 var Default = NewRegistry()
 
-func (r *Registry) register(name, help string, kind Kind, bounds []float64, labels []string) *Family {
+func (r *Registry) register(name, help string, kind Kind, sharded bool, bounds []float64, labels []string) *Family {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.byName[name]; ok {
-		if f.Kind != kind {
+		if f.Kind != kind || f.sharded != sharded {
 			panic("telemetry: " + name + " re-registered with different kind")
 		}
 		return f
@@ -322,6 +346,7 @@ func (r *Registry) register(name, help string, kind Kind, bounds []float64, labe
 		Name: name, Help: help, Kind: kind,
 		Labels:   append([]string(nil), labels...),
 		bounds:   append([]float64(nil), bounds...),
+		sharded:  sharded,
 		children: map[string]any{},
 	}
 	r.fams = append(r.fams, f)
@@ -334,18 +359,26 @@ func (r *Registry) register(name, help string, kind Kind, bounds []float64, labe
 
 // NewCounter registers (or returns the existing) counter family.
 func (r *Registry) NewCounter(name, help string, labels ...string) *Family {
-	return r.register(name, help, KindCounter, nil, labels)
+	return r.register(name, help, KindCounter, false, nil, labels)
+}
+
+// NewShardedCounter registers (or returns the existing) counter family
+// whose children are per-worker-sharded (see ShardedCounter). It
+// exposes exactly like a plain counter — shards are summed at scrape
+// time — so the choice is invisible to consumers.
+func (r *Registry) NewShardedCounter(name, help string, labels ...string) *Family {
+	return r.register(name, help, KindCounter, true, nil, labels)
 }
 
 // NewGauge registers (or returns the existing) gauge family.
 func (r *Registry) NewGauge(name, help string, labels ...string) *Family {
-	return r.register(name, help, KindGauge, nil, labels)
+	return r.register(name, help, KindGauge, false, nil, labels)
 }
 
 // NewHistogramFamily registers (or returns the existing) histogram
 // family with the given bucket upper bounds.
 func (r *Registry) NewHistogramFamily(name, help string, bounds []float64, labels ...string) *Family {
-	return r.register(name, help, KindHistogram, bounds, labels)
+	return r.register(name, help, KindHistogram, false, bounds, labels)
 }
 
 // Families returns the registered families in registration order.

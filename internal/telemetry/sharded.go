@@ -1,0 +1,59 @@
+package telemetry
+
+// Sharded hot counters. A single atomic counter incremented by every
+// pool worker on every block keeps one cache line ping-ponging between
+// cores: each Add is an RFO (read-for-ownership) that steals the line
+// from whichever core last wrote it. A ShardedCounter gives each
+// worker its own cache-line-padded slot and only sums them when a
+// reader asks, so the hot path never shares a line between writers.
+
+import "sync/atomic"
+
+// shardCount is the number of per-worker slots of a ShardedCounter.
+// Power of two so the shard index is a mask; worker ids beyond it wrap
+// around, which merely re-introduces (rare) sharing rather than losing
+// counts.
+const shardCount = 64
+
+// countShard is one writer slot padded out to a 64-byte cache line so
+// adjacent shards never false-share.
+type countShard struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// ShardedCounter is a monotonically increasing count split into
+// cache-line-padded per-worker shards, summed at read (scrape) time.
+// The zero value is ready to use; a nil ShardedCounter drops writes,
+// as does a disabled subsystem.
+type ShardedCounter struct {
+	shards [shardCount]countShard
+}
+
+// Add increments worker w's shard by n. No-op when nil or disabled.
+// Any w is accepted (shards are indexed modulo shardCount), so callers
+// can pass pool worker ids directly.
+func (c *ShardedCounter) Add(w int, n uint64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.shards[uint(w)&(shardCount-1)].v.Add(n)
+}
+
+// Inc increments worker w's shard by one. No-op when nil or disabled.
+func (c *ShardedCounter) Inc(w int) { c.Add(w, 1) }
+
+// Value returns the summed count across all shards (readable even
+// while disabled). Concurrent writers may land between shard reads, so
+// the sum is a consistent lower bound rather than an instantaneous
+// snapshot — the same guarantee a scrape of any live counter has.
+func (c *ShardedCounter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestShardedCounterSumsAcrossShards(t *testing.T) {
+	withEnabled(t)
+	var c ShardedCounter
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("Value() = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestShardedCounterWorkerIDsWrap(t *testing.T) {
+	withEnabled(t)
+	var c ShardedCounter
+	// Worker ids beyond shardCount (and negative ones via uint
+	// conversion) must land in some shard, never out of range.
+	for _, w := range []int{0, shardCount - 1, shardCount, 3 * shardCount, 1 << 20} {
+		c.Add(w, 2)
+	}
+	if got := c.Value(); got != 10 {
+		t.Fatalf("Value() = %d, want 10", got)
+	}
+}
+
+func TestShardedCounterDisabledAndNil(t *testing.T) {
+	was := Enabled()
+	Disable()
+	defer func() {
+		if was {
+			Enable()
+		}
+	}()
+	var c ShardedCounter
+	c.Add(0, 5)
+	c.Inc(1)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled ShardedCounter recorded %d", got)
+	}
+	var nilC *ShardedCounter
+	nilC.Add(0, 5) // must not panic
+	nilC.Inc(3)
+	if got := nilC.Value(); got != 0 {
+		t.Fatalf("nil ShardedCounter Value() = %d", got)
+	}
+}
+
+func TestShardedCounterFamilyExposition(t *testing.T) {
+	withEnabled(t)
+	r := NewRegistry()
+	fam := r.NewShardedCounter("test_sharded_total", "Sharded test counter.", "mode")
+	a := fam.ShardedCounter("alpha")
+	b := fam.ShardedCounter("beta")
+	a.Add(0, 3)
+	a.Add(7, 4)
+	b.Add(1, 5)
+
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_sharded_total counter",
+		`test_sharded_total{mode="alpha"} 7`,
+		`test_sharded_total{mode="beta"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShardedCounterAccessorPanics(t *testing.T) {
+	r := NewRegistry()
+	plain := r.NewCounter("test_plain_total", "Plain.")
+	sharded := r.NewShardedCounter("test_sharded2_total", "Sharded.")
+
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("plain.ShardedCounter", func() { plain.ShardedCounter() })
+	expectPanic("sharded.Counter", func() { sharded.Counter() })
+}

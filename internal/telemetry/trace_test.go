@@ -123,7 +123,7 @@ func TestServerEndpoints(t *testing.T) {
 	if !Enabled() {
 		t.Fatal("Serve did not enable instrumentation")
 	}
-	PointsUpdated.Add(11)
+	PointsUpdated.Add(0, 11)
 
 	get := func(path string) (string, string) {
 		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))

@@ -1,0 +1,155 @@
+package tessellate_test
+
+import (
+	"testing"
+
+	"tessellate"
+)
+
+// Topology-aware scheduling is a pure performance knob: sticky
+// mapping, CPU pinning and first-touch allocation must all leave the
+// numerics bitwise identical to the plain engine and to the naive
+// sweep, in every dimension. Both time-parity buffers are compared so
+// intermediate states match too, not just the final sweep.
+
+func placedEngine(t *testing.T) *tessellate.Engine {
+	t.Helper()
+	eng := tessellate.NewEngineOpts(tessellate.EngineOptions{Threads: 4, Pin: true, Sticky: true})
+	if err := eng.PinError(); err != nil {
+		t.Logf("pinning degraded (expected off-linux or in restricted cgroups): %v", err)
+	}
+	if !eng.StickyEnabled() {
+		t.Fatal("EngineOptions.Sticky not applied")
+	}
+	return eng
+}
+
+func equalBuffers(t *testing.T, name string, a, b [2][]float64) {
+	t.Helper()
+	for p := 0; p < 2; p++ {
+		if len(a[p]) != len(b[p]) {
+			t.Fatalf("%s: buffer %d length %d != %d", name, p, len(a[p]), len(b[p]))
+		}
+		for i := range a[p] {
+			if a[p][i] != b[p][i] {
+				t.Fatalf("%s: buffer %d differs at index %d: %v != %v", name, p, i, a[p][i], b[p][i])
+			}
+		}
+	}
+}
+
+func TestPlacementBitwiseIdentical1D(t *testing.T) {
+	const n, steps = 4000, 40
+	init := func(g *tessellate.Grid1D) {
+		g.Fill(func(x int) float64 { return float64(x%23) * 0.125 })
+		g.SetBoundary(1)
+	}
+
+	ref := tessellate.NewGrid1D(n, 1)
+	init(ref)
+	plainEng := tessellate.NewEngine(4)
+	defer plainEng.Close()
+	if err := plainEng.Run1D(ref, tessellate.Heat1D, steps, tessellate.Options{Scheme: tessellate.Naive}); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := placedEngine(t)
+	defer eng.Close()
+	g := eng.AllocGrid1D(n, 1)
+	init(g)
+	if err := eng.Run1D(g, tessellate.Heat1D, steps, tessellate.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	equalBuffers(t, "1D placed-tessellation vs naive", g.Buf, ref.Buf)
+}
+
+func TestPlacementBitwiseIdentical2D(t *testing.T) {
+	const nx, ny, steps = 128, 96, 24
+	init := func(g *tessellate.Grid2D) {
+		g.Fill(func(x, y int) float64 { return float64((x*5+y*3)%29) * 0.0625 })
+		g.SetBoundary(1)
+	}
+
+	ref := tessellate.NewGrid2D(nx, ny, 1, 1)
+	init(ref)
+	plainEng := tessellate.NewEngine(4)
+	defer plainEng.Close()
+	if err := plainEng.Run2D(ref, tessellate.Heat2D, steps, tessellate.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := placedEngine(t)
+	defer eng.Close()
+	g := eng.AllocGrid2D(nx, ny, 1, 1)
+	init(g)
+	if err := eng.Run2D(g, tessellate.Heat2D, steps, tessellate.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	equalBuffers(t, "2D placed vs plain tessellation", g.Buf, ref.Buf)
+
+	// And toggling the knobs mid-life must not change results either.
+	if err := eng.SetPinned(false); err != nil {
+		t.Fatalf("SetPinned(false) = %v", err)
+	}
+	eng.SetSticky(false)
+	g2 := eng.AllocGrid2D(nx, ny, 1, 1)
+	init(g2)
+	if err := eng.Run2D(g2, tessellate.Heat2D, steps, tessellate.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	equalBuffers(t, "2D after unpin/unsticky", g2.Buf, ref.Buf)
+}
+
+func TestPlacementBitwiseIdentical3D(t *testing.T) {
+	const nx, ny, nz, steps = 48, 40, 36, 12
+	init := func(g *tessellate.Grid3D) {
+		g.Fill(func(x, y, z int) float64 { return float64((x+2*y+3*z)%31) * 0.03125 })
+		g.SetBoundary(1)
+	}
+
+	ref := tessellate.NewGrid3D(nx, ny, nz, 1, 1, 1)
+	init(ref)
+	plainEng := tessellate.NewEngine(4)
+	defer plainEng.Close()
+	if err := plainEng.Run3D(ref, tessellate.Heat3D, steps, tessellate.Options{Scheme: tessellate.Naive}); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := placedEngine(t)
+	defer eng.Close()
+	g := eng.AllocGrid3D(nx, ny, nz, 1, 1, 1)
+	init(g)
+	if err := eng.Run3D(g, tessellate.Heat3D, steps, tessellate.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	equalBuffers(t, "3D placed-tessellation vs naive", g.Buf, ref.Buf)
+}
+
+// The placement surface must degrade loudly, not wrongly: Placement
+// always has Threads() entries, and PinSupported is consistent with
+// what SetPinned reports.
+func TestPlacementIntrospection(t *testing.T) {
+	eng := tessellate.NewEngine(3)
+	defer eng.Close()
+	pl := eng.Placement()
+	if len(pl) != 3 {
+		t.Fatalf("Placement() has %d entries, want 3", len(pl))
+	}
+	for w, cpu := range pl {
+		if cpu != -1 {
+			t.Fatalf("worker %d placed at %d before SetPinned", w, cpu)
+		}
+	}
+	err := eng.SetPinned(true)
+	if !tessellate.PinSupported() {
+		if err == nil {
+			t.Fatal("SetPinned succeeded on a platform without affinity support")
+		}
+		if eng.PinError() == nil {
+			t.Fatal("PinError empty after unsupported SetPinned")
+		}
+	}
+	if err := eng.SetPinned(false); err != nil {
+		t.Fatalf("SetPinned(false) = %v", err)
+	}
+}

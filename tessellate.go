@@ -178,10 +178,36 @@ type Engine struct {
 	pool *par.Pool
 }
 
+// EngineOptions selects the engine's scheduling and placement
+// behaviour; the zero value reproduces NewEngine (dynamic scheduling,
+// no pinning).
+type EngineOptions struct {
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+	// Pin pins each worker to its own CPU core (linux; degrades to a
+	// recorded no-op elsewhere or when the kernel refuses — see
+	// PinError).
+	Pin bool
+	// Sticky enables the static block→worker mapping for stage loops:
+	// the blocks a worker ran last stage are the blocks it runs next
+	// stage, keeping their data in that core's cache.
+	Sticky bool
+}
+
 // NewEngine creates an engine with the given number of workers
 // (0 = GOMAXPROCS).
 func NewEngine(threads int) *Engine {
-	return &Engine{pool: par.NewPool(threads)}
+	return NewEngineOpts(EngineOptions{Threads: threads})
+}
+
+// NewEngineOpts creates an engine with explicit scheduling and
+// placement options. Construction never fails: unavailable pinning is
+// recorded in PinError, not fatal.
+func NewEngineOpts(opts EngineOptions) *Engine {
+	return &Engine{pool: par.NewPoolOpts(opts.Threads, par.PoolOptions{
+		Pin:    opts.Pin,
+		Sticky: opts.Sticky,
+	})}
 }
 
 // Threads reports the engine's worker count.
@@ -189,6 +215,58 @@ func (e *Engine) Threads() int { return e.pool.Workers() }
 
 // Close releases the engine's workers.
 func (e *Engine) Close() { e.pool.Close() }
+
+// SetSticky toggles sticky scheduling for subsequent runs. Must not be
+// called while a run is in flight.
+func (e *Engine) SetSticky(on bool) { e.pool.SetSticky(on) }
+
+// StickyEnabled reports whether stage loops use the sticky mapping.
+func (e *Engine) StickyEnabled() bool { return e.pool.StickyEnabled() }
+
+// SetPinned pins (or unpins) the engine's workers to CPU cores. The
+// returned error reports why pinning is unavailable or incomplete;
+// execution continues correctly either way. Must not be called while a
+// run is in flight.
+func (e *Engine) SetPinned(on bool) error { return e.pool.SetPinned(on) }
+
+// Pinned reports whether worker pinning is in effect.
+func (e *Engine) Pinned() bool { return e.pool.Pinned() }
+
+// Placement returns each worker's pinned CPU core, -1 where unpinned.
+func (e *Engine) Placement() []int { return e.pool.Placement() }
+
+// PinError returns the first pinning failure observed (nil if none).
+func (e *Engine) PinError() error { return e.pool.PinError() }
+
+// PinSupported reports whether this platform can pin worker threads
+// (true on linux).
+func PinSupported() bool { return par.AffinitySupported() }
+
+// parallelFor adapts the engine's pool to grid.ParallelFor for
+// first-touch allocation.
+func (e *Engine) parallelFor() grid.ParallelFor {
+	return func(n int, body func(i, worker int)) { e.pool.ForSticky(n, body) }
+}
+
+// AllocGrid1D allocates a 1D grid whose buffers are first-touched
+// under the engine's worker mapping, so on NUMA machines each worker's
+// share of the grid lands on that worker's memory node. Numerically
+// identical to NewGrid1D.
+func (e *Engine) AllocGrid1D(n, h int) *Grid1D {
+	return grid.NewGrid1DParallel(n, h, e.parallelFor())
+}
+
+// AllocGrid2D is NewGrid2D with first-touch placement under the
+// engine's worker mapping.
+func (e *Engine) AllocGrid2D(nx, ny, hx, hy int) *Grid2D {
+	return grid.NewGrid2DParallel(nx, ny, hx, hy, e.parallelFor())
+}
+
+// AllocGrid3D is NewGrid3D with first-touch placement under the
+// engine's worker mapping.
+func (e *Engine) AllocGrid3D(nx, ny, nz, hx, hy, hz int) *Grid3D {
+	return grid.NewGrid3DParallel(nx, ny, nz, hx, hy, hz, e.parallelFor())
+}
 
 // Run1D advances a 1D grid by steps time steps of s under opt.
 func (e *Engine) Run1D(g *Grid1D, s *Stencil, steps int, opt Options) error {
