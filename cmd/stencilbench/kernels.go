@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"tessellate/internal/bench"
+)
+
+// runCompareKernels drives bench.CompareKernels, renders the
+// human-readable table, and optionally writes the JSON report
+// (BENCH_KERNELS.json schema).
+func runCompareKernels(w io.Writer, scale, threads int, jsonPath string) error {
+	fmt.Fprintf(w, "kernel dispatch comparison: heat-2d (fig 10) + heat-3d (fig 11a) + short-row sweep, 1/%d scale, %d threads\n", scale, threads)
+	rep, err := bench.CompareKernels(scale, threads)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tpath\tseconds\tMLUP/s\tvs row")
+	for _, r := range rep.Results {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.1f\t%.3fx\n",
+			r.Workload, r.Path, r.Seconds, r.MUpdates, r.SpeedupVsRow)
+	}
+	tw.Flush()
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote kernel report to %s\n", jsonPath)
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 //	stencilbench -concurrency          # barriers & parallelism per scheme
 //	stencilbench -adaptive             # online re-tuning demo (pessimal seed vs adaptive)
 //	stencilbench -compare-placement    # dynamic vs sticky(+pin) scheduling comparison
+//	stencilbench -compare-kernels      # row vs fused block kernel dispatch comparison
 //	stencilbench -paper -fig 8         # full paper problem sizes (hours!)
 //	stencilbench -threads 1,2,4,8      # thread sweep points
 //
@@ -36,6 +37,7 @@
 //	-concurrency        |     yes           no      no        no             yes
 //	-adaptive           |     yes          yes      no       yes             yes
 //	-compare-placement  |     yes          yes      no        no             yes
+//	-compare-kernels    |     yes          yes      no       yes             yes
 //
 // -csv needs a single -fig to name the measurement sweep it exports;
 // combining it with -list, -ablate, -concurrency, -adaptive or
@@ -44,7 +46,9 @@
 // -pin/-sticky apply the placement knobs to every measurement of the
 // run; -compare-placement measures all placements itself, so the knobs
 // are rejected there, and -json names its machine-readable output
-// (the BENCH_PAR.json schema).
+// (the BENCH_PAR.json schema). -compare-kernels measures the row vs
+// fused-block kernel dispatch paths (BENCH_KERNELS.json schema) and
+// enforces bitwise checksum agreement between them.
 package main
 
 import (
@@ -76,7 +80,8 @@ func main() {
 		pin     = flag.Bool("pin", false, "pin pool workers to CPU cores (linux; degrades to a no-op elsewhere)")
 		sticky  = flag.Bool("sticky", false, "use the sticky (static) block→worker mapping with work-stealing")
 		cmpPl   = flag.Bool("compare-placement", false, "compare dynamic vs sticky(+pin) scheduling on Heat-2D/3D and sweep dispatch overhead")
-		jsonOut = flag.String("json", "", "compare-placement: also write the report as JSON to this file (BENCH_PAR.json schema)")
+		cmpKr   = flag.Bool("compare-kernels", false, "compare row vs fused block kernel dispatch on Heat-2D/3D plus a short-row sweep")
+		jsonOut = flag.String("json", "", "compare-placement/-compare-kernels: also write the report as JSON to this file")
 		telAddr = flag.String("telemetry", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. :8080) and enable instrumentation")
 		traceTo = flag.String("trace", "", "write a Chrome trace_event JSON dump of the run to this file (enables instrumentation)")
 	)
@@ -89,14 +94,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc || *adapt || *cmpPl) {
-		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency, -adaptive, -compare-placement or -fig all"))
+	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc || *adapt || *cmpPl || *cmpKr) {
+		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency, -adaptive, -compare-placement, -compare-kernels or -fig all"))
 	}
 	if *cmpPl && (*pin || *sticky) {
 		fatal(fmt.Errorf("-compare-placement measures every placement itself; -pin/-sticky cannot be combined with it"))
 	}
-	if *jsonOut != "" && !*cmpPl {
-		fatal(fmt.Errorf("-json is only meaningful with -compare-placement"))
+	if *cmpKr && *cmpPl {
+		fatal(fmt.Errorf("-compare-kernels and -compare-placement are separate modes; pick one"))
+	}
+	if *jsonOut != "" && !*cmpPl && !*cmpKr {
+		fatal(fmt.Errorf("-json is only meaningful with -compare-placement or -compare-kernels"))
 	}
 	bench.SetPlacement(bench.Placement{Sticky: *sticky, Pin: *pin, FirstTouch: *sticky || *pin})
 
@@ -134,6 +142,10 @@ func main() {
 		}
 	case *cmpPl:
 		if err := runComparePlacement(os.Stdout, *scale, ths[len(ths)-1], *jsonOut); err != nil {
+			fatal(err)
+		}
+	case *cmpKr:
+		if err := runCompareKernels(os.Stdout, *scale, ths[len(ths)-1], *jsonOut); err != nil {
 			fatal(err)
 		}
 	case *fig == "all":

@@ -53,7 +53,9 @@ func (f *flipAfter) Retune(b tessellate.PhaseBoundary) (tessellate.Options, bool
 // state is not drift.
 func TestControllerDriftTriggersExactlyOneRetune(t *testing.T) {
 	var slow atomic.Bool
-	spec := *tessellate.Heat2D
+	// RowOnly: the wrapped K2 must actually run — a retained block
+	// kernel would be dispatched instead and the burden never fire.
+	spec := *tessellate.Heat2D.RowOnly()
 	spec.Name = "heat-2d-drifting"
 	base := tessellate.Heat2D.K2
 	spec.K2 = func(dst, src []float64, b, n, sy int) {

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+
+	"tessellate"
+	"tessellate/internal/core"
+)
+
+// Kernel-path comparison: the experiment behind stencilbench's
+// -compare-kernels mode and the committed BENCH_KERNELS.json. It
+// measures the fused block kernels (stencil.Spec.B1/B2/B3, dispatched
+// whole clipped boxes by the executors) against the per-row fallback
+// on the same tessellation schedule, including a short-row sweep whose
+// diamond-shaped boxes stress the per-row dispatch overhead the block
+// path exists to amortise. Every pair must agree on the checksum: the
+// block kernels are hand-tuned but evaluate each point's expression in
+// the row kernel's exact order, so the comparison is bitwise.
+
+// KernelResult is one (workload, dispatch path) measurement.
+type KernelResult struct {
+	Workload string  `json:"workload"`
+	Kernel   string  `json:"kernel"`
+	Path     string  `json:"path"` // "row" or "block"
+	Seconds  float64 `json:"seconds"`
+	MUpdates float64 `json:"mupdates"`
+	// SpeedupVsRow is MUpdates relative to the row path of the same
+	// workload (1.0 for the row path itself).
+	SpeedupVsRow float64 `json:"speedup_vs_row"`
+	Checksum     float64 `json:"checksum"`
+}
+
+// KernelReport is the full -compare-kernels output (the schema of
+// BENCH_KERNELS.json).
+type KernelReport struct {
+	Threads     int            `json:"threads"`
+	Scale       int            `json:"scale"`
+	Results     []KernelResult `json:"results"`
+	GeneratedBy string         `json:"generated_by"`
+}
+
+// shortRowWorkloads are tiny-tile tessellations: clipped boxes shrink
+// to diamond tips only a few points wide, so the row path pays its
+// per-row indirect call on very short rows. They are already small and
+// ignore the scale factor.
+var shortRowWorkloads = []Workload{
+	{
+		Figure: "short", Kernel: "heat-2d",
+		N: []int{1024, 1024}, Steps: 64,
+		TessBT: 4, TessBig: []int{16, 16},
+		DiamondBX: 16, DiamondBT: 8, SkewBT: 4, SkewBX: []int{16, 16},
+	},
+	{
+		Figure: "short", Kernel: "heat-3d",
+		N: []int{128, 128, 128}, Steps: 16,
+		TessBT: 2, TessBig: []int{8, 8, 8},
+		DiamondBX: 8, DiamondBT: 4, SkewBT: 2, SkewBX: []int{8, 8, 8},
+	},
+}
+
+// CompareKernels measures row vs block kernel dispatch on the Heat-2D
+// (fig. 10) and Heat-3D (fig. 11a) tessellation workloads at the given
+// scale and thread count, plus the short-row sweep, enforcing bitwise
+// checksum agreement between the two paths of every workload.
+func CompareKernels(scale, threads int) (KernelReport, error) {
+	rep := KernelReport{
+		Threads:     threads,
+		Scale:       scale,
+		GeneratedBy: "stencilbench -compare-kernels",
+	}
+	defer core.SetBlockKernels(true)
+	workloads := []Workload{
+		ByFigure("10")[0].Scaled(scale),  // heat-2d
+		ByFigure("11a")[0].Scaled(scale), // heat-3d
+	}
+	workloads = append(workloads, shortRowWorkloads...)
+	// Best of a few repetitions per path: single runs on a loaded or
+	// single-core machine are noisy enough to invert small margins.
+	const reps = 3
+	for _, w := range workloads {
+		var rowMUpdates, rowChecksum float64
+		for _, path := range []string{"row", "block"} {
+			core.SetBlockKernels(path == "block")
+			var m Measurement
+			for r := 0; r < reps; r++ {
+				mr, err := RunPlaced(w, tessellate.Tessellation, threads, Placement{})
+				if err != nil {
+					return rep, err
+				}
+				if r > 0 && mr.Checksum != m.Checksum {
+					return rep, fmt.Errorf("bench: %s %s path nondeterministic checksum", w, path)
+				}
+				if r == 0 || mr.MUpdates > m.MUpdates {
+					m = mr
+				}
+			}
+			speedup := 1.0
+			if path == "row" {
+				rowMUpdates, rowChecksum = m.MUpdates, m.Checksum
+			} else {
+				if m.Checksum != rowChecksum {
+					return rep, fmt.Errorf("bench: %s block checksum %v != row %v",
+						w, m.Checksum, rowChecksum)
+				}
+				speedup = m.MUpdates / rowMUpdates
+			}
+			rep.Results = append(rep.Results, KernelResult{
+				Workload:     w.String(),
+				Kernel:       w.Kernel,
+				Path:         path,
+				Seconds:      m.Seconds,
+				MUpdates:     m.MUpdates,
+				SpeedupVsRow: speedup,
+				Checksum:     m.Checksum,
+			})
+		}
+	}
+	return rep, nil
+}

@@ -11,7 +11,10 @@ import "tessellate/internal/stencil"
 // concurrency-safe, and a serialized replay is the faithful analogue of
 // the socket-aggregated uncore counters the paper reads.
 func NewTracingSpec(spec *stencil.Spec, c *Cache, buf0, buf1 []float64) *stencil.Spec {
-	t := *spec
+	// Tracing replaces only the row kernels; RowOnly drops the fused
+	// block kernels so every executor falls back to the (traced) row
+	// path instead of dispatching past the wrappers.
+	t := *spec.RowOnly()
 	bufBase := func(b []float64) int64 {
 		if len(b) > 0 && len(buf0) > 0 && &b[0] == &buf0[0] {
 			return 0

@@ -86,10 +86,15 @@ func Spec(g *stencil.Generic) (*stencil.Spec, error) {
 			return nil, err
 		}
 		s.K1 = k
+		// A 1D row already is a whole block; the separate field just
+		// routes it through the executors' block dispatch.
+		s.B1 = stencil.Kernel1DBlock(k)
 	case 2:
 		s.K2 = compile2D(g)
+		s.B2 = compile2DBlock(g)
 	case 3:
 		s.K3 = compile3D(g)
+		s.B3 = compile3DBlock(g)
 	default:
 		return nil, fmt.Errorf("codegen: row kernels support 1-3 dimensions, got %d (use the ND executor)", g.Dims)
 	}
@@ -153,6 +158,60 @@ func compile3D(g *stencil.Generic) stencil.Kernel3D {
 	}
 }
 
+// compile2DBlock builds the fused block variant of compile2D: the
+// offset-cache lookup and the indirect call are paid once per clipped
+// box instead of once per row. Each point accumulates in the same
+// declaration order as the row closure, so results are bitwise
+// identical.
+func compile2DBlock(g *stencil.Generic) stencil.Kernel2DBlock {
+	var cache cacheMap[strideKey]
+	return func(dst, src []float64, base, nx, ny, sy int) {
+		if ny <= 0 {
+			return
+		}
+		e := cache.get(strideKey{sy: sy}, func() ([]int, []float64) {
+			return split(terms(g, []int{sy, 1}))
+		})
+		flat, coeff := e.flat, e.coeff
+		for x := 0; x < nx; x++ {
+			b := base + x*sy
+			for i := b; i < b+ny; i++ {
+				var acc float64
+				for k, d := range flat {
+					acc += coeff[k] * src[i+d]
+				}
+				dst[i] = acc
+			}
+		}
+	}
+}
+
+// compile3DBlock is the 3D analogue of compile2DBlock.
+func compile3DBlock(g *stencil.Generic) stencil.Kernel3DBlock {
+	var cache cacheMap[strideKey]
+	return func(dst, src []float64, base, nx, ny, nz, sy, sx int) {
+		if nz <= 0 {
+			return
+		}
+		e := cache.get(strideKey{sy: sy, sx: sx}, func() ([]int, []float64) {
+			return split(terms(g, []int{sx, sy, 1}))
+		})
+		flat, coeff := e.flat, e.coeff
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				b := base + x*sx + y*sy
+				for i := b; i < b+nz; i++ {
+					var acc float64
+					for k, d := range flat {
+						acc += coeff[k] * src[i+d]
+					}
+					dst[i] = acc
+				}
+			}
+		}
+	}
+}
+
 func split(ts []term) ([]int, []float64) {
 	flat := make([]int, len(ts))
 	coeff := make([]float64, len(ts))
@@ -164,9 +223,12 @@ func split(ts []term) ([]int, []float64) {
 }
 
 // EmitGo renders a standalone Go source file containing a specialised
-// row-kernel function for g, in the style of the hand-written kernels.
-// Offsets appear symbolically (multiples of sy/sx), so the emitted code
-// works for any grid geometry. The result is gofmt-formatted.
+// row-kernel function for g, in the style of the hand-written kernels,
+// plus (for 2D/3D stencils) a fused block variant named funcName+"Block"
+// that iterates the rows of a whole clipped box internally — the shape
+// the executors dispatch to via stencil.Spec.B2/B3. Offsets appear
+// symbolically (multiples of sy/sx), so the emitted code works for any
+// grid geometry. The result is gofmt-formatted.
 func EmitGo(g *stencil.Generic, pkg, funcName string) ([]byte, error) {
 	if g.Dims < 1 || g.Dims > 3 {
 		return nil, fmt.Errorf("codegen: EmitGo supports 1-3 dimensions, got %d", g.Dims)
@@ -195,21 +257,42 @@ func EmitGo(g *stencil.Generic, pkg, funcName string) ([]byte, error) {
 	} else {
 		fmt.Fprintf(&b, "\tfor i := %s; i < %s+n; i++ {\n", idx, idx)
 	}
-	fmt.Fprintf(&b, "\t\tdst[i] =\n")
-	// Declaration order, matching the compiled closures bit for bit.
-	order := make([]int, len(g.Offsets))
-	for i := range order {
-		order[i] = i
+	emitSum(&b, g, "\t\t")
+	fmt.Fprintf(&b, "\t}\n}\n")
+
+	switch g.Dims {
+	case 2:
+		fmt.Fprintf(&b, "\n// %sBlock updates the whole nx x ny box rooted at base (row stride\n// sy): %s fused over the box's rows.\n", funcName, funcName)
+		fmt.Fprintf(&b, "func %sBlock(dst, src []float64, base, nx, ny, sy int) {\n", funcName)
+		fmt.Fprintf(&b, "\tfor x := 0; x < nx; x++ {\n")
+		fmt.Fprintf(&b, "\t\tb := base + x*sy\n")
+		fmt.Fprintf(&b, "\t\tfor i := b; i < b+ny; i++ {\n")
+		emitSum(&b, g, "\t\t\t")
+		fmt.Fprintf(&b, "\t\t}\n\t}\n}\n")
+	case 3:
+		fmt.Fprintf(&b, "\n// %sBlock updates the whole nx x ny x nz box rooted at base (strides\n// sx, sy): %s fused over the box's pencils.\n", funcName, funcName)
+		fmt.Fprintf(&b, "func %sBlock(dst, src []float64, base, nx, ny, nz, sy, sx int) {\n", funcName)
+		fmt.Fprintf(&b, "\tfor x := 0; x < nx; x++ {\n")
+		fmt.Fprintf(&b, "\t\tfor y := 0; y < ny; y++ {\n")
+		fmt.Fprintf(&b, "\t\t\tb := base + x*sx + y*sy\n")
+		fmt.Fprintf(&b, "\t\t\tfor i := b; i < b+nz; i++ {\n")
+		emitSum(&b, g, "\t\t\t\t")
+		fmt.Fprintf(&b, "\t\t\t}\n\t\t}\n\t}\n}\n")
 	}
-	for n, oi := range order {
+	return format.Source([]byte(b.String()))
+}
+
+// emitSum renders the per-point update "dst[i] = Σ coeff*src[i+off]"
+// in declaration order, matching the compiled closures bit for bit.
+func emitSum(b *strings.Builder, g *stencil.Generic, indent string) {
+	fmt.Fprintf(b, "%sdst[i] =\n", indent)
+	for n := range g.Offsets {
 		sep := " +"
-		if n == len(order)-1 {
+		if n == len(g.Offsets)-1 {
 			sep = ""
 		}
-		fmt.Fprintf(&b, "\t\t\t%v*src[i%s]%s\n", g.Coeffs[oi], indexExpr(g.Offsets[oi], g.Dims), sep)
+		fmt.Fprintf(b, "%s\t%v*src[i%s]%s\n", indent, g.Coeffs[n], indexExpr(g.Offsets[n], g.Dims), sep)
 	}
-	fmt.Fprintf(&b, "\t}\n}\n")
-	return format.Source([]byte(b.String()))
 }
 
 // indexExpr renders the symbolic index displacement of one offset:

@@ -125,6 +125,59 @@ func TestCompiledSpecUnderTessellation(t *testing.T) {
 	}
 }
 
+// The compiled block kernels must match the row closures bitwise: run
+// the same tessellation schedule with block dispatch on and off.
+func TestCompiledBlockMatchesRowBitwise(t *testing.T) {
+	defer core.SetBlockKernels(true)
+	for _, g := range []*stencil.Generic{stencil.NewStar(2, 2), stencil.NewBox(2, 1), stencil.NewStar(3, 1), stencil.NewBox(3, 1)} {
+		spec, err := Spec(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.B1 == nil && spec.B2 == nil && spec.B3 == nil {
+			t.Fatalf("%s: compiled spec has no block kernel", g.Name)
+		}
+		pool := par.NewPool(3)
+		rng := rand.New(rand.NewSource(3))
+		sl := g.MaxSlope()
+		switch g.Dims {
+		case 2:
+			a := grid.NewGrid2D(36, 40, sl, sl)
+			a.Fill(func(x, y int) float64 { return rng.Float64() })
+			b := a.Clone()
+			cfg := core.Config{N: []int{36, 40}, Slopes: spec.Slopes, BT: sl, Big: []int{12 * sl, 12 * sl}, Merge: true}
+			core.SetBlockKernels(true)
+			if err := core.Run2D(a, spec, 5, &cfg, pool); err != nil {
+				t.Fatal(err)
+			}
+			core.SetBlockKernels(false)
+			if err := core.Run2D(b, spec, 5, &cfg, pool); err != nil {
+				t.Fatal(err)
+			}
+			if r := verify.Grids2D(a, b); !r.Equal {
+				t.Fatal(r.Error(g.Name + " block-vs-row"))
+			}
+		case 3:
+			a := grid.NewGrid3D(18, 20, 22, sl, sl, sl)
+			a.Fill(func(x, y, z int) float64 { return rng.Float64() })
+			b := a.Clone()
+			cfg := core.Config{N: []int{18, 20, 22}, Slopes: spec.Slopes, BT: 1, Big: []int{8, 8, 8}, Merge: true}
+			core.SetBlockKernels(true)
+			if err := core.Run3D(a, spec, 4, &cfg, pool); err != nil {
+				t.Fatal(err)
+			}
+			core.SetBlockKernels(false)
+			if err := core.Run3D(b, spec, 4, &cfg, pool); err != nil {
+				t.Fatal(err)
+			}
+			if r := verify.Grids3D(a, b); !r.Equal {
+				t.Fatal(r.Error(g.Name + " block-vs-row"))
+			}
+		}
+		pool.Close()
+	}
+}
+
 func TestEmitGoFormatsAndContainsTerms(t *testing.T) {
 	g := stencil.NewStar(2, 1)
 	src, err := EmitGo(g, "kernels", "star2D5P")
@@ -155,6 +208,31 @@ func TestEmitGo3DBox(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("emitted source missing %q", want)
 		}
+	}
+}
+
+// EmitGo must also emit the fused block variant for 2D/3D stencils.
+func TestEmitGoBlockVariant(t *testing.T) {
+	src, err := EmitGo(stencil.NewStar(2, 1), "kernels", "star2D5P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "func star2D5PBlock(dst, src []float64, base, nx, ny, sy int)") {
+		t.Errorf("2D emit missing block variant:\n%s", src)
+	}
+	src, err = EmitGo(stencil.NewBox(3, 1), "kernels", "box3D27P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "func box3D27PBlock(dst, src []float64, base, nx, ny, nz, sy, sx int)") {
+		t.Errorf("3D emit missing block variant:\n%s", src)
+	}
+	src, err = EmitGo(stencil.NewStar(1, 2), "kernels", "p1D5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(src), "p1D5Block") {
+		t.Error("1D emit should not have a separate block variant (a row is the block)")
 	}
 }
 

@@ -1,0 +1,21 @@
+package core
+
+import "sync/atomic"
+
+// blockKernels gates dispatch to the fused block kernels
+// (stencil.Spec.B1/B2/B3 and the generic executors' row-hoisted fast
+// paths). On by default; the row path remains the fallback and the
+// correctness oracle, and the comparison benchmark and the
+// block-vs-row tests flip this at runtime.
+var blockKernels atomic.Bool
+
+func init() { blockKernels.Store(true) }
+
+// SetBlockKernels enables or disables dispatch to the fused block
+// kernels. Safe to call concurrently with runs, but a run samples the
+// toggle once at entry, so flips take effect at the next Run* call.
+func SetBlockKernels(on bool) { blockKernels.Store(on) }
+
+// BlockKernelsEnabled reports whether executors dispatch to the fused
+// block kernels when a spec carries one.
+func BlockKernelsEnabled() bool { return blockKernels.Load() }

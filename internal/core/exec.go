@@ -21,6 +21,7 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 		return err
 	}
 	h := g.H
+	useBlock := s.B1 != nil && BlockKernelsEnabled()
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range cfg.Regions(steps) {
 		r := r
@@ -28,7 +29,7 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 		pool.ForSticky(len(r.Blocks), func(bi, wkr int) {
 			b := &r.Blocks[bi]
 			var lo, hi [1]int
-			var pts int64
+			var pts, rows, blocks int64
 			for t := r.T0; t < r.T1; t++ {
 				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
 					continue
@@ -36,9 +37,16 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 				if sp != nil {
 					pts += boxVolume(lo[:], hi[:])
 				}
-				s.K1(g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1], lo[0]+h, hi[0]+h)
+				if useBlock {
+					s.B1(g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1], lo[0]+h, hi[0]+h)
+					blocks++
+				} else {
+					s.K1(g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1], lo[0]+h, hi[0]+h)
+					rows++
+				}
 			}
 			sp.addPoints(wkr, pts)
+			sp.addKernelCalls(wkr, rows, blocks)
 		})
 		sp.end(cfg, &r, ri)
 	}
@@ -58,6 +66,7 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.NX, g.NY}, s.Slopes); err != nil {
 		return err
 	}
+	useBlock := s.B2 != nil && BlockKernelsEnabled()
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range cfg.Regions(steps) {
 		r := r
@@ -65,7 +74,7 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 		pool.ForSticky(len(r.Blocks), func(bi, wkr int) {
 			b := &r.Blocks[bi]
 			var lo, hi [2]int
-			var pts int64
+			var pts, rows, blocks int64
 			for t := r.T0; t < r.T1; t++ {
 				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
 					continue
@@ -76,12 +85,19 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
 				n := hi[1] - lo[1]
 				base := g.Idx(lo[0], lo[1])
+				if useBlock {
+					s.B2(dst, src, base, hi[0]-lo[0], n, g.SY)
+					blocks++
+					continue
+				}
 				for x := lo[0]; x < hi[0]; x++ {
 					s.K2(dst, src, base, n, g.SY)
 					base += g.SY
 				}
+				rows += int64(hi[0] - lo[0])
 			}
 			sp.addPoints(wkr, pts)
+			sp.addKernelCalls(wkr, rows, blocks)
 		})
 		sp.end(cfg, &r, ri)
 	}
@@ -101,6 +117,7 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.NX, g.NY, g.NZ}, s.Slopes); err != nil {
 		return err
 	}
+	useBlock := s.B3 != nil && BlockKernelsEnabled()
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range cfg.Regions(steps) {
 		r := r
@@ -108,7 +125,7 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 		pool.ForSticky(len(r.Blocks), func(bi, wkr int) {
 			b := &r.Blocks[bi]
 			var lo, hi [3]int
-			var pts int64
+			var pts, rows, blocks int64
 			for t := r.T0; t < r.T1; t++ {
 				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
 					continue
@@ -119,6 +136,11 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
 				n := hi[2] - lo[2]
 				xBase := g.Idx(lo[0], lo[1], lo[2])
+				if useBlock {
+					s.B3(dst, src, xBase, hi[0]-lo[0], hi[1]-lo[1], n, g.SY, g.SX)
+					blocks++
+					continue
+				}
 				for x := lo[0]; x < hi[0]; x++ {
 					base := xBase
 					for y := lo[1]; y < hi[1]; y++ {
@@ -127,8 +149,10 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 					}
 					xBase += g.SX
 				}
+				rows += int64(hi[0]-lo[0]) * int64(hi[1]-lo[1])
 			}
 			sp.addPoints(wkr, pts)
+			sp.addKernelCalls(wkr, rows, blocks)
 		})
 		sp.end(cfg, &r, ri)
 	}
@@ -164,7 +188,7 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 			lo := make([]int, d)
 			hi := make([]int, d)
 			p := make([]int, d)
-			var pts int64
+			var pts, rows int64
 			for t := r.T0; t < r.T1; t++ {
 				if !cfg.ClippedBounds(&r, b, t, lo, hi) {
 					continue
@@ -173,10 +197,15 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 					pts += boxVolume(lo, hi)
 				}
 				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
+				// The last dimension has unit stride, so hoist it out
+				// of the odometer: one ApplyRow per contiguous row
+				// instead of one Apply (and one g.Idx) per point.
+				n := hi[d-1] - lo[d-1]
 				copy(p, lo)
 				for {
-					gs.Apply(dst, src, g.Idx(p), flat)
-					k := d - 1
+					gs.ApplyRow(dst, src, g.Idx(p), n, flat)
+					rows++
+					k := d - 2
 					for ; k >= 0; k-- {
 						p[k]++
 						if p[k] < hi[k] {
@@ -190,6 +219,7 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 				}
 			}
 			sp.addPoints(wkr, pts)
+			sp.addKernelCalls(wkr, rows, 0)
 		})
 		sp.end(cfg, &r, ri)
 	}

@@ -36,6 +36,21 @@ func (sp *regionSpan) addPoints(worker int, n int64) {
 	telemetry.PointsUpdated.Add(worker, uint64(n))
 }
 
+// addKernelCalls accumulates kernel invocation counts by dispatch
+// path; safe on a nil span. Like addPoints it is sharded per pool
+// worker so block closures never contend on a shared cache line.
+func (sp *regionSpan) addKernelCalls(worker int, row, block int64) {
+	if sp == nil {
+		return
+	}
+	if row > 0 {
+		telemetry.KernelCallsRow.Add(worker, uint64(row))
+	}
+	if block > 0 {
+		telemetry.KernelCallsBlock.Add(worker, uint64(block))
+	}
+}
+
 // end records the region's metrics and trace event. index is the
 // region's position in the run's schedule.
 func (sp *regionSpan) end(cfg *Config, r *Region, index int) {

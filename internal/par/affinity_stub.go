@@ -14,3 +14,7 @@ func allowedCPUs() ([]int, error) { return nil, errAffinityUnsupported }
 var setThreadAffinity = func(cpu int) error { return errAffinityUnsupported }
 
 var resetThreadAffinity = func(cpus []int) error { return errAffinityUnsupported }
+
+// numaNodeCPUs has no portable source outside linux sysfs; returning
+// nil keeps the allowed order unchanged.
+func numaNodeCPUs() [][]int { return nil }

@@ -1,0 +1,99 @@
+package par
+
+import (
+	"strconv"
+	"strings"
+)
+
+// NUMA-aware default CPU ordering. When PoolOptions.CPUs is empty,
+// SetPinned pins worker w to the w-th CPU of the allowed set — which
+// on a multi-socket machine packs the first workers onto node 0 and
+// leaves other nodes' memory controllers idle until the pool is large.
+// Interleaving the default order across NUMA nodes spreads any worker
+// count evenly over the nodes, matching the first-touch placement
+// story: each worker's pages land on its own node from the start.
+//
+// The topology comes from /sys/devices/system/node on linux; where
+// sysfs is absent (other platforms, restricted containers) the raw
+// allowed order is used unchanged.
+
+// parseCPUList parses the kernel's cpulist format ("0-3,8,10-11") into
+// the listed CPUs in order. Malformed fields are skipped rather than
+// failing the whole list: a partial topology still beats none.
+func parseCPUList(s string) []int {
+	var out []int
+	for _, f := range strings.Split(strings.TrimSpace(s), ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(f, "-"); ok {
+			a, err1 := strconv.Atoi(strings.TrimSpace(lo))
+			b, err2 := strconv.Atoi(strings.TrimSpace(hi))
+			if err1 != nil || err2 != nil || a < 0 || b < a {
+				continue
+			}
+			for c := a; c <= b; c++ {
+				out = append(out, c)
+			}
+			continue
+		}
+		c, err := strconv.Atoi(f)
+		if err != nil || c < 0 {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// interleaveNUMA orders the allowed CPUs round-robin across the given
+// per-node CPU lists: node0's first allowed CPU, node1's first, ...,
+// node0's second, and so on. CPUs outside the allowed set are dropped;
+// allowed CPUs that no node claims are appended at the end so the
+// result is always a permutation of allowed. With fewer than two
+// effective nodes the allowed order is returned unchanged.
+func interleaveNUMA(nodes [][]int, allowed []int) []int {
+	allowedSet := make(map[int]bool, len(allowed))
+	for _, c := range allowed {
+		allowedSet[c] = true
+	}
+	var lanes [][]int
+	claimed := make(map[int]bool)
+	for _, node := range nodes {
+		var lane []int
+		for _, c := range node {
+			if allowedSet[c] && !claimed[c] {
+				lane = append(lane, c)
+				claimed[c] = true
+			}
+		}
+		if len(lane) > 0 {
+			lanes = append(lanes, lane)
+		}
+	}
+	if len(lanes) < 2 {
+		return allowed
+	}
+	out := make([]int, 0, len(allowed))
+	for i := 0; len(out) < len(claimed); i++ {
+		for _, lane := range lanes {
+			if i < len(lane) {
+				out = append(out, lane[i])
+			}
+		}
+	}
+	for _, c := range allowed {
+		if !claimed[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// numaInterleaved returns the allowed CPUs reordered round-robin
+// across NUMA nodes, or allowed unchanged when no usable topology is
+// found.
+func numaInterleaved(allowed []int) []int {
+	return interleaveNUMA(numaNodeCPUs(), allowed)
+}

@@ -1,0 +1,50 @@
+//go:build linux
+
+package par
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// numaSysfsRoot is the topology directory; a variable so tests can
+// point it at a fixture tree.
+var numaSysfsRoot = "/sys/devices/system/node"
+
+// numaNodeCPUs reads the per-node CPU lists from sysfs, ordered by
+// node id. Any error (no sysfs, restricted container, malformed
+// files) yields nil and the caller falls back to the raw allowed
+// order.
+func numaNodeCPUs() [][]int {
+	entries, err := os.ReadDir(numaSysfsRoot)
+	if err != nil {
+		return nil
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "node") {
+			continue
+		}
+		id, err := strconv.Atoi(name[len("node"):])
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var nodes [][]int
+	for _, id := range ids {
+		b, err := os.ReadFile(filepath.Join(numaSysfsRoot, "node"+strconv.Itoa(id), "cpulist"))
+		if err != nil {
+			continue
+		}
+		if cpus := parseCPUList(string(b)); len(cpus) > 0 {
+			nodes = append(nodes, cpus)
+		}
+	}
+	return nodes
+}

@@ -1,0 +1,43 @@
+//go:build linux
+
+package par
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestNumaNodeCPUsFixture(t *testing.T) {
+	// Point the sysfs root at a fixture tree and check node ordering
+	// and graceful fallback.
+	dir := t.TempDir()
+	defer func(old string) { numaSysfsRoot = old }(numaSysfsRoot)
+
+	numaSysfsRoot = filepath.Join(dir, "missing")
+	if nodes := numaNodeCPUs(); nodes != nil {
+		t.Errorf("missing sysfs should yield nil, got %v", nodes)
+	}
+
+	numaSysfsRoot = dir
+	writeFixture(t, filepath.Join(dir, "node1", "cpulist"), "4-7\n")
+	writeFixture(t, filepath.Join(dir, "node0", "cpulist"), "0-3\n")
+	writeFixture(t, filepath.Join(dir, "node10", "cpulist"), "8,9\n")
+	// "power" and other non-node entries must be ignored.
+	writeFixture(t, filepath.Join(dir, "power", "cpulist"), "13\n")
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9}}
+	if got := numaNodeCPUs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("numaNodeCPUs = %v, want %v (numeric node order)", got, want)
+	}
+}
+
+func writeFixture(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package par
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"0-3", []int{0, 1, 2, 3}},
+		{"0-3,8-11\n", []int{0, 1, 2, 3, 8, 9, 10, 11}},
+		{"5", []int{5}},
+		{"0,2-3, 7", []int{0, 2, 3, 7}},
+		{"", nil},
+		{"\n", nil},
+		{"junk,4,x-2,3-1", []int{4}}, // malformed fields skipped
+	}
+	for _, c := range cases {
+		if got := parseCPUList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseCPUList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestInterleaveNUMA(t *testing.T) {
+	nodes := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+	// Full machine: round-robin across the two nodes.
+	if got, want := interleaveNUMA(nodes, all), []int{0, 4, 1, 5, 2, 6, 3, 7}; !reflect.DeepEqual(got, want) {
+		t.Errorf("interleave = %v, want %v", got, want)
+	}
+
+	// Restricted set (taskset): only allowed CPUs appear, still
+	// alternating between nodes.
+	if got, want := interleaveNUMA(nodes, []int{1, 2, 5}), []int{1, 5, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("restricted interleave = %v, want %v", got, want)
+	}
+
+	// Allowed CPUs unknown to the topology are kept (appended).
+	got := interleaveNUMA(nodes, []int{0, 4, 64})
+	if want := []int{0, 4, 64}; !reflect.DeepEqual(got, want) {
+		t.Errorf("unknown-cpu interleave = %v, want %v", got, want)
+	}
+
+	// Fewer than two effective nodes: order unchanged.
+	if got := interleaveNUMA([][]int{{0, 1, 2, 3}}, []int{3, 1}); !reflect.DeepEqual(got, []int{3, 1}) {
+		t.Errorf("single node should keep allowed order, got %v", got)
+	}
+	if got := interleaveNUMA(nil, []int{0, 1}); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("no topology should keep allowed order, got %v", got)
+	}
+
+	// Unequal nodes: the longer node's tail follows once the shorter
+	// lane is exhausted.
+	if got, want := interleaveNUMA([][]int{{0, 1, 2}, {4}}, []int{0, 1, 2, 4}), []int{0, 4, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("unequal interleave = %v, want %v", got, want)
+	}
+
+	// Every result must be a permutation of allowed.
+	perm := interleaveNUMA(nodes, []int{7, 0, 3, 5})
+	seen := map[int]bool{}
+	for _, c := range perm {
+		seen[c] = true
+	}
+	if len(perm) != 4 || !seen[7] || !seen[0] || !seen[3] || !seen[5] {
+		t.Errorf("interleave is not a permutation of allowed: %v", perm)
+	}
+}

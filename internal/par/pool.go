@@ -72,7 +72,9 @@ type PoolOptions struct {
 	Pin bool
 	// CPUs optionally lists the cores to pin to; worker w gets
 	// CPUs[w%len(CPUs)]. Empty means the thread's allowed set (which
-	// respects taskset/cgroup limits), assigned round-robin.
+	// respects taskset/cgroup limits), interleaved across NUMA nodes
+	// when /sys/devices/system/node is readable so small pools still
+	// use every memory controller, assigned round-robin.
 	CPUs []int
 	// Sticky starts the pool with sticky scheduling enabled for
 	// ForSticky regions (toggleable later with SetSticky).
@@ -232,12 +234,15 @@ func (p *Pool) SetPinned(on bool) error {
 	}
 	cpus := p.pinCPUs
 	if len(cpus) == 0 {
-		var err error
-		cpus, err = allowedCPUs()
+		allowed, err := allowedCPUs()
 		if err != nil {
 			p.pinErr.CompareAndSwap(nil, &pinFailure{err: err})
 			return err
 		}
+		// Default order: interleave the allowed CPUs across NUMA nodes
+		// so any worker count spreads over all memory controllers (a
+		// no-op reorder on single-node machines or without sysfs).
+		cpus = numaInterleaved(allowed)
 	}
 	if len(cpus) == 0 {
 		p.pinErr.CompareAndSwap(nil, &pinFailure{err: errAffinityUnsupported})

@@ -1,0 +1,334 @@
+package stencil
+
+// Hand-tuned block kernels for the Table 4 stencils. Each one receives
+// a whole clipped box and iterates the rows internally, which buys
+// three things over the row path:
+//
+//  1. one indirect call per box instead of one per row — diamond-stage
+//     boxes have short rows, so call overhead is a real cost there;
+//  2. bounds-check elimination: every row is subsliced to its exact
+//     extent up front, so the compiler proves the inner indices in
+//     range and the loop body is branch-free;
+//  3. cross-row reuse: adjacent rows share their north/south (and
+//     plane) neighbour rows, so processing rows in pairs halves the
+//     loads of the shared rows.
+//
+// Bitwise identity with the row kernels is a hard invariant (the whole
+// test suite compares schedules exactly): each point's floating-point
+// expression below is evaluated in precisely the row kernel's order —
+// reuse only changes *where a value is loaded from* (register vs
+// cache), never the arithmetic.
+
+func heat1DBlock(dst, src []float64, lo, hi int) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	d := dst[lo : lo+n]
+	w := src[lo-1 : lo-1+n]
+	c := src[lo : lo+n]
+	e := src[lo+1 : lo+1+n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		d[j] = h1e*w[j] + h1c*c[j] + h1e*e[j]
+		d[j+1] = h1e*w[j+1] + h1c*c[j+1] + h1e*e[j+1]
+		d[j+2] = h1e*w[j+2] + h1c*c[j+2] + h1e*e[j+2]
+		d[j+3] = h1e*w[j+3] + h1c*c[j+3] + h1e*e[j+3]
+	}
+	for ; j < n; j++ {
+		d[j] = h1e*w[j] + h1c*c[j] + h1e*e[j]
+	}
+}
+
+func p1d5Block(dst, src []float64, lo, hi int) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	d := dst[lo : lo+n]
+	w2 := src[lo-2 : lo-2+n]
+	w1 := src[lo-1 : lo-1+n]
+	c := src[lo : lo+n]
+	e1 := src[lo+1 : lo+1+n]
+	e2 := src[lo+2 : lo+2+n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		d[j] = p5c2*w2[j] + p5c1*w1[j] + p5c0*c[j] + p5c1*e1[j] + p5c2*e2[j]
+		d[j+1] = p5c2*w2[j+1] + p5c1*w1[j+1] + p5c0*c[j+1] + p5c1*e1[j+1] + p5c2*e2[j+1]
+		d[j+2] = p5c2*w2[j+2] + p5c1*w1[j+2] + p5c0*c[j+2] + p5c1*e1[j+2] + p5c2*e2[j+2]
+		d[j+3] = p5c2*w2[j+3] + p5c1*w1[j+3] + p5c0*c[j+3] + p5c1*e1[j+3] + p5c2*e2[j+3]
+	}
+	for ; j < n; j++ {
+		d[j] = p5c2*w2[j] + p5c1*w1[j] + p5c0*c[j] + p5c1*e1[j] + p5c2*e2[j]
+	}
+}
+
+// heat2DBlock processes rows in pairs: the centre row of the upper row
+// is the north neighbour of the lower one and vice versa, so each pair
+// iteration loads 8 rows instead of 10.
+func heat2DBlock(dst, src []float64, base, nx, ny, sy int) {
+	if ny <= 0 {
+		return
+	}
+	x := 0
+	for ; x+2 <= nx; x += 2 {
+		b := base + x*sy
+		d0 := dst[b : b+ny]
+		d1 := dst[b+sy : b+sy+ny]
+		n0 := src[b-sy : b-sy+ny]
+		w0 := src[b-1 : b-1+ny]
+		c0 := src[b : b+ny]
+		e0 := src[b+1 : b+1+ny]
+		w1 := src[b+sy-1 : b+sy-1+ny]
+		c1 := src[b+sy : b+sy+ny]
+		e1 := src[b+sy+1 : b+sy+1+ny]
+		s1 := src[b+2*sy : b+2*sy+ny]
+		j := 0
+		for ; j+2 <= ny; j += 2 {
+			m0, m1 := c0[j], c1[j]
+			d0[j] = h2c*m0 + h2e*(w0[j]+e0[j]+n0[j]+m1)
+			d1[j] = h2c*m1 + h2e*(w1[j]+e1[j]+m0+s1[j])
+			m2, m3 := c0[j+1], c1[j+1]
+			d0[j+1] = h2c*m2 + h2e*(w0[j+1]+e0[j+1]+n0[j+1]+m3)
+			d1[j+1] = h2c*m3 + h2e*(w1[j+1]+e1[j+1]+m2+s1[j+1])
+		}
+		for ; j < ny; j++ {
+			m0, m1 := c0[j], c1[j]
+			d0[j] = h2c*m0 + h2e*(w0[j]+e0[j]+n0[j]+m1)
+			d1[j] = h2c*m1 + h2e*(w1[j]+e1[j]+m0+s1[j])
+		}
+	}
+	if x < nx {
+		heat2DTunedRow(dst, src, base+x*sy, ny, sy)
+	}
+}
+
+// heat2DTunedRow is the single-row remainder of heat2DBlock: same
+// subslicing and a 4-way unroll, no pairing.
+func heat2DTunedRow(dst, src []float64, b, ny, sy int) {
+	d := dst[b : b+ny]
+	nn := src[b-sy : b-sy+ny]
+	ww := src[b-1 : b-1+ny]
+	cc := src[b : b+ny]
+	ee := src[b+1 : b+1+ny]
+	ss := src[b+sy : b+sy+ny]
+	j := 0
+	for ; j+4 <= ny; j += 4 {
+		d[j] = h2c*cc[j] + h2e*(ww[j]+ee[j]+nn[j]+ss[j])
+		d[j+1] = h2c*cc[j+1] + h2e*(ww[j+1]+ee[j+1]+nn[j+1]+ss[j+1])
+		d[j+2] = h2c*cc[j+2] + h2e*(ww[j+2]+ee[j+2]+nn[j+2]+ss[j+2])
+		d[j+3] = h2c*cc[j+3] + h2e*(ww[j+3]+ee[j+3]+nn[j+3]+ss[j+3])
+	}
+	for ; j < ny; j++ {
+		d[j] = h2c*cc[j] + h2e*(ww[j]+ee[j]+nn[j]+ss[j])
+	}
+}
+
+// box2D9Block processes row pairs over four source rows (each sliced
+// one element wide of the box on both sides, so column j's west/
+// centre/east live at j/j+1/j+2): the two centre rows are shared
+// between the pair, 4 row loads instead of 6.
+func box2D9Block(dst, src []float64, base, nx, ny, sy int) {
+	if ny <= 0 {
+		return
+	}
+	x := 0
+	for ; x+2 <= nx; x += 2 {
+		b := base + x*sy
+		d0 := dst[b : b+ny]
+		d1 := dst[b+sy : b+sy+ny]
+		rn := src[b-sy-1 : b-sy-1+ny+2]
+		r0 := src[b-1 : b-1+ny+2]
+		r1 := src[b+sy-1 : b+sy-1+ny+2]
+		rs := src[b+2*sy-1 : b+2*sy-1+ny+2]
+		for j := 0; j < ny; j++ {
+			c0, c1 := r0[j+1], r1[j+1]
+			d0[j] = b9c*c0 +
+				b9e*(r0[j]+r0[j+2]+rn[j+1]+c1) +
+				b9d*(rn[j]+rn[j+2]+r1[j]+r1[j+2])
+			d1[j] = b9c*c1 +
+				b9e*(r1[j]+r1[j+2]+c0+rs[j+1]) +
+				b9d*(r0[j]+r0[j+2]+rs[j]+rs[j+2])
+		}
+	}
+	if x < nx {
+		b := base + x*sy
+		d := dst[b : b+ny]
+		rn := src[b-sy-1 : b-sy-1+ny+2]
+		r0 := src[b-1 : b-1+ny+2]
+		rs := src[b+sy-1 : b+sy-1+ny+2]
+		for j := 0; j < ny; j++ {
+			d[j] = b9c*r0[j+1] +
+				b9e*(r0[j]+r0[j+2]+rn[j+1]+rs[j+1]) +
+				b9d*(rn[j]+rn[j+2]+rs[j]+rs[j+2])
+		}
+	}
+}
+
+// lifeBlock shares the two centre rows of each row pair like
+// box2D9Block. Cells are exactly 0 or 1, so the neighbour sums are
+// exact regardless of order; the summation order still matches lifeRow
+// to keep the bitwise invariant trivially true.
+func lifeBlock(dst, src []float64, base, nx, ny, sy int) {
+	if ny <= 0 {
+		return
+	}
+	x := 0
+	for ; x+2 <= nx; x += 2 {
+		b := base + x*sy
+		d0 := dst[b : b+ny]
+		d1 := dst[b+sy : b+sy+ny]
+		rn := src[b-sy-1 : b-sy-1+ny+2]
+		r0 := src[b-1 : b-1+ny+2]
+		r1 := src[b+sy-1 : b+sy-1+ny+2]
+		rs := src[b+2*sy-1 : b+2*sy-1+ny+2]
+		for j := 0; j < ny; j++ {
+			c0, c1 := r0[j+1], r1[j+1]
+			nb0 := r0[j] + r0[j+2] + rn[j] + rn[j+1] + rn[j+2] + r1[j] + c1 + r1[j+2]
+			nb1 := r1[j] + r1[j+2] + r0[j] + c0 + r0[j+2] + rs[j] + rs[j+1] + rs[j+2]
+			d0[j] = lifeRule(nb0, c0)
+			d1[j] = lifeRule(nb1, c1)
+		}
+	}
+	if x < nx {
+		b := base + x*sy
+		d := dst[b : b+ny]
+		rn := src[b-sy-1 : b-sy-1+ny+2]
+		r0 := src[b-1 : b-1+ny+2]
+		rs := src[b+sy-1 : b+sy-1+ny+2]
+		for j := 0; j < ny; j++ {
+			nb := r0[j] + r0[j+2] + rn[j] + rn[j+1] + rn[j+2] + rs[j] + rs[j+1] + rs[j+2]
+			d[j] = lifeRule(nb, r0[j+1])
+		}
+	}
+}
+
+// lifeRule is the Game of Life update shared by lifeRow and lifeBlock.
+func lifeRule(neighbours, self float64) float64 {
+	switch {
+	case neighbours == 3:
+		return 1
+	case neighbours == 2:
+		return self
+	default:
+		return 0
+	}
+}
+
+// heat3DBlock walks planes in x and pairs rows in y, reusing the
+// shared centre rows of each pair as each other's north/south. Short
+// pencils (diamond tips in small-tile schedules) skip the pairing: the
+// 14 subslice constructions per pair cost more than they save under
+// ~16 points, so a fused direct-index sweep wins there.
+func heat3DBlock(dst, src []float64, base, nx, ny, nz, sy, sx int) {
+	if nz <= 0 {
+		return
+	}
+	if nz < 16 {
+		for x := 0; x < nx; x++ {
+			rb := base + x*sx
+			y := 0
+			for ; y+2 <= ny; y += 2 {
+				b := rb + y*sy
+				for i := b; i < b+nz; i++ {
+					m0, m1 := src[i], src[i+sy]
+					dst[i] = h3c*m0 + h3e*(src[i-1]+src[i+1]+src[i-sy]+m1+src[i-sx]+src[i+sx])
+					dst[i+sy] = h3c*m1 + h3e*(src[i+sy-1]+src[i+sy+1]+m0+src[i+2*sy]+src[i+sy-sx]+src[i+sy+sx])
+				}
+			}
+			for ; y < ny; y++ {
+				b := rb + y*sy
+				for i := b; i < b+nz; i++ {
+					dst[i] = h3c*src[i] + h3e*(src[i-1]+src[i+1]+src[i-sy]+src[i+sy]+src[i-sx]+src[i+sx])
+				}
+			}
+		}
+		return
+	}
+	for x := 0; x < nx; x++ {
+		pb := base + x*sx
+		y := 0
+		for ; y+2 <= ny; y += 2 {
+			b := pb + y*sy
+			d0 := dst[b : b+nz]
+			d1 := dst[b+sy : b+sy+nz]
+			n0 := src[b-sy : b-sy+nz]
+			w0 := src[b-1 : b-1+nz]
+			c0 := src[b : b+nz]
+			e0 := src[b+1 : b+1+nz]
+			w1 := src[b+sy-1 : b+sy-1+nz]
+			c1 := src[b+sy : b+sy+nz]
+			e1 := src[b+sy+1 : b+sy+1+nz]
+			s1 := src[b+2*sy : b+2*sy+nz]
+			u0 := src[b-sx : b-sx+nz]
+			v0 := src[b+sx : b+sx+nz]
+			u1 := src[b+sy-sx : b+sy-sx+nz]
+			v1 := src[b+sy+sx : b+sy+sx+nz]
+			for j := 0; j < nz; j++ {
+				m0, m1 := c0[j], c1[j]
+				d0[j] = h3c*m0 + h3e*(w0[j]+e0[j]+n0[j]+m1+u0[j]+v0[j])
+				d1[j] = h3c*m1 + h3e*(w1[j]+e1[j]+m0+s1[j]+u1[j]+v1[j])
+			}
+		}
+		if y < ny {
+			heat3DTunedRow(dst, src, pb+y*sy, nz, sy, sx)
+		}
+	}
+}
+
+// heat3DTunedRow is the single-row remainder of heat3DBlock.
+func heat3DTunedRow(dst, src []float64, b, nz, sy, sx int) {
+	d := dst[b : b+nz]
+	nn := src[b-sy : b-sy+nz]
+	ww := src[b-1 : b-1+nz]
+	cc := src[b : b+nz]
+	ee := src[b+1 : b+1+nz]
+	ss := src[b+sy : b+sy+nz]
+	uu := src[b-sx : b-sx+nz]
+	vv := src[b+sx : b+sx+nz]
+	j := 0
+	for ; j+4 <= nz; j += 4 {
+		d[j] = h3c*cc[j] + h3e*(ww[j]+ee[j]+nn[j]+ss[j]+uu[j]+vv[j])
+		d[j+1] = h3c*cc[j+1] + h3e*(ww[j+1]+ee[j+1]+nn[j+1]+ss[j+1]+uu[j+1]+vv[j+1])
+		d[j+2] = h3c*cc[j+2] + h3e*(ww[j+2]+ee[j+2]+nn[j+2]+ss[j+2]+uu[j+2]+vv[j+2])
+		d[j+3] = h3c*cc[j+3] + h3e*(ww[j+3]+ee[j+3]+nn[j+3]+ss[j+3]+uu[j+3]+vv[j+3])
+	}
+	for ; j < nz; j++ {
+		d[j] = h3c*cc[j] + h3e*(ww[j]+ee[j]+nn[j]+ss[j]+uu[j]+vv[j])
+	}
+}
+
+// box3D27Block processes one pencil at a time over nine widened source
+// rows (column j's west/centre/east at j/j+1/j+2). 27-point cross-row
+// reuse would exhaust registers, so this variant banks on subslicing
+// and the dense branch-free body instead of pairing.
+func box3D27Block(dst, src []float64, base, nx, ny, nz, sy, sx int) {
+	if nz <= 0 {
+		return
+	}
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			b := base + x*sx + y*sy
+			d := dst[b : b+nz]
+			am := src[b-sx-sy-1 : b-sx-sy-1+nz+2]
+			ao := src[b-sx-1 : b-sx-1+nz+2]
+			ap := src[b-sx+sy-1 : b-sx+sy-1+nz+2]
+			bm := src[b-sy-1 : b-sy-1+nz+2]
+			bo := src[b-1 : b-1+nz+2]
+			bp := src[b+sy-1 : b+sy-1+nz+2]
+			cm := src[b+sx-sy-1 : b+sx-sy-1+nz+2]
+			co := src[b+sx-1 : b+sx-1+nz+2]
+			cp := src[b+sx+sy-1 : b+sx+sy-1+nz+2]
+			for j := 0; j < nz; j++ {
+				centre := bo[j+1]
+				faces := bo[j] + bo[j+2] + bm[j+1] + bp[j+1] + ao[j+1] + co[j+1]
+				edges := bm[j] + bm[j+2] + bp[j] + bp[j+2] +
+					ao[j] + ao[j+2] + co[j] + co[j+2] +
+					am[j+1] + ap[j+1] + cm[j+1] + cp[j+1]
+				corners := am[j] + am[j+2] + ap[j] + ap[j+2] +
+					cm[j] + cm[j+2] + cp[j] + cp[j+2]
+				d[j] = b27c*centre + b27f*faces + b27e*edges + b27v*corners
+			}
+		}
+	}
+}

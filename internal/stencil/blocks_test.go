@@ -1,0 +1,272 @@
+package stencil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The block kernels must be bitwise-identical to the row kernels on
+// every clipped box the executors can produce: arbitrary offsets and
+// extents, including empty, 1-wide and halo-adjacent boxes. The
+// property tests below replay randomized boxes through both paths on
+// the same source field and compare the whole destination buffers, so
+// out-of-box writes would be caught too.
+
+// spec2DCases returns every shipped 2D spec plus a var-coef instance
+// for the given padded buffer length.
+func spec2DCases(total int, rng *rand.Rand) []*Spec {
+	kappa := make([]float64, total)
+	for i := range kappa {
+		kappa[i] = rng.Float64()
+	}
+	return []*Spec{Heat2D, Box2D9, Life, NewVarCoef2D(kappa)}
+}
+
+func spec3DCases(total int, rng *rand.Rand) []*Spec {
+	kappa := make([]float64, total)
+	for i := range kappa {
+		kappa[i] = rng.Float64()
+	}
+	return []*Spec{Heat3D, Box3D27, NewVarCoef3D(kappa)}
+}
+
+func fillSrc(src []float64, s *Spec, rng *rand.Rand) {
+	if s == Life {
+		for i := range src {
+			src[i] = float64(rng.Intn(2))
+		}
+		return
+	}
+	for i := range src {
+		src[i] = rng.Float64()
+	}
+}
+
+// sameDst seeds two destination buffers with identical garbage so a
+// stray write by either path shows up as a whole-buffer mismatch.
+func sameDst(total int, rng *rand.Rand) (a, b []float64) {
+	a = make([]float64, total)
+	b = make([]float64, total)
+	for i := range a {
+		v := rng.Float64()
+		a[i] = v
+		b[i] = v
+	}
+	return a, b
+}
+
+func buffersEqual(t *testing.T, name string, a, b []float64) {
+	t.Helper()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: dst mismatch at flat %d: row %v vs block %v", name, i, a[i], b[i])
+		}
+	}
+}
+
+func TestBlockMatchesRow1D(t *testing.T) {
+	const N, H = 120, 2
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range []*Spec{Heat1D, P1D5} {
+		if s.B1 == nil {
+			t.Fatalf("%s: no block kernel", s.Name)
+		}
+		total := N + 2*H
+		src := make([]float64, total)
+		fillSrc(src, s, rng)
+		dr, db := sameDst(total, rng)
+		spans := [][2]int{{0, 0}, {0, 1}, {0, N}, {N - 1, N}, {N / 2, N / 2}}
+		for k := 0; k < 60; k++ {
+			lo := rng.Intn(N + 1)
+			spans = append(spans, [2]int{lo, lo + rng.Intn(N-lo+1)})
+		}
+		for _, sp := range spans {
+			lo, hi := sp[0]+H, sp[1]+H
+			s.K1(dr, src, lo, hi)
+			s.B1(db, src, lo, hi)
+			buffersEqual(t, s.Name, dr, db)
+		}
+	}
+}
+
+func TestBlockMatchesRow2D(t *testing.T) {
+	const NX, NY, HX, HY = 24, 29, 2, 2
+	sy := NY + 2*HY
+	total := (NX + 2*HX) * sy
+	rng := rand.New(rand.NewSource(12))
+	for _, s := range spec2DCases(total, rng) {
+		if s.B2 == nil {
+			t.Fatalf("%s: no block kernel", s.Name)
+		}
+		src := make([]float64, total)
+		fillSrc(src, s, rng)
+		dr, db := sameDst(total, rng)
+		boxes := [][4]int{
+			{0, 0, 0, 0},             // empty both ways
+			{0, NX, 5, 5},            // empty rows
+			{3, 3, 0, NY},            // zero x extent
+			{0, 1, 0, NY},            // single row, halo-adjacent
+			{0, NX, 7, 8},            // 1-wide rows
+			{NX - 1, NX, NY - 1, NY}, // far corner against the halo
+			{0, NX, 0, NY},           // the whole interior
+		}
+		for k := 0; k < 50; k++ {
+			x0 := rng.Intn(NX + 1)
+			y0 := rng.Intn(NY + 1)
+			boxes = append(boxes, [4]int{x0, x0 + rng.Intn(NX-x0+1), y0, y0 + rng.Intn(NY-y0+1)})
+		}
+		for _, bx := range boxes {
+			x0, x1, y0, y1 := bx[0], bx[1], bx[2], bx[3]
+			nx, ny := x1-x0, y1-y0
+			base := (x0+HX)*sy + y0 + HY
+			for x := 0; x < nx; x++ {
+				s.K2(dr, src, base+x*sy, ny, sy)
+			}
+			s.B2(db, src, base, nx, ny, sy)
+			buffersEqual(t, s.Name, dr, db)
+		}
+	}
+}
+
+func TestBlockMatchesRow3D(t *testing.T) {
+	const NX, NY, NZ, HX, HY, HZ = 10, 12, 21, 1, 1, 1
+	sy := NZ + 2*HZ
+	sx := (NY + 2*HY) * sy
+	total := (NX + 2*HX) * sx
+	rng := rand.New(rand.NewSource(13))
+	for _, s := range spec3DCases(total, rng) {
+		if s.B3 == nil {
+			t.Fatalf("%s: no block kernel", s.Name)
+		}
+		src := make([]float64, total)
+		fillSrc(src, s, rng)
+		dr, db := sameDst(total, rng)
+		boxes := [][6]int{
+			{0, 0, 0, 0, 0, 0},                         // empty
+			{0, NX, 0, NY, 4, 4},                       // zero pencils
+			{0, 1, 0, 1, 0, NZ},                        // single pencil at the halo
+			{0, NX, 0, NY, 9, 10},                      // 1-point pencils
+			{NX - 1, NX, NY - 1, NY, NZ - 1, NZ},       // far corner
+			{0, NX, 0, NY, 0, NZ},                      // whole interior (nz >= 16 path)
+			{NX / 2, NX/2 + 3, NY / 2, NY/2 + 3, 0, 7}, // short pencils (nz < 16 path)
+		}
+		for k := 0; k < 40; k++ {
+			x0 := rng.Intn(NX + 1)
+			y0 := rng.Intn(NY + 1)
+			z0 := rng.Intn(NZ + 1)
+			boxes = append(boxes, [6]int{
+				x0, x0 + rng.Intn(NX-x0+1),
+				y0, y0 + rng.Intn(NY-y0+1),
+				z0, z0 + rng.Intn(NZ-z0+1)})
+		}
+		for _, bx := range boxes {
+			x0, x1, y0, y1, z0, z1 := bx[0], bx[1], bx[2], bx[3], bx[4], bx[5]
+			nx, ny, nz := x1-x0, y1-y0, z1-z0
+			base := (x0+HX)*sx + (y0+HY)*sy + z0 + HZ
+			for x := 0; x < nx; x++ {
+				for y := 0; y < ny; y++ {
+					s.K3(dr, src, base+x*sx+y*sy, nz, sy, sx)
+				}
+			}
+			s.B3(db, src, base, nx, ny, nz, sy, sx)
+			buffersEqual(t, s.Name, dr, db)
+		}
+	}
+}
+
+// FuzzBlockMatchesRow2D lets the fuzzer pick box geometry and the
+// random seed; the property is the same bitwise row/block agreement.
+func FuzzBlockMatchesRow2D(f *testing.F) {
+	f.Add(0, 5, 0, 7, int64(1))
+	f.Add(3, 1, 2, 30, int64(2)) // extents clamp into range
+	f.Add(0, 0, 0, 0, int64(3))
+	f.Fuzz(func(t *testing.T, x0, nx, y0, ny int, seed int64) {
+		const NX, NY, H = 16, 18, 2
+		clamp := func(v, lo, hi int) int {
+			if v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		x0 = clamp(x0, 0, NX)
+		y0 = clamp(y0, 0, NY)
+		nx = clamp(nx, 0, NX-x0)
+		ny = clamp(ny, 0, NY-y0)
+		sy := NY + 2*H
+		total := (NX + 2*H) * sy
+		rng := rand.New(rand.NewSource(seed))
+		for _, s := range spec2DCases(total, rng) {
+			src := make([]float64, total)
+			fillSrc(src, s, rng)
+			dr, db := sameDst(total, rng)
+			base := (x0+H)*sy + y0 + H
+			for x := 0; x < nx; x++ {
+				s.K2(dr, src, base+x*sy, ny, sy)
+			}
+			s.B2(db, src, base, nx, ny, sy)
+			buffersEqual(t, s.Name, dr, db)
+		}
+	})
+}
+
+// Benchmarks for the row vs block paths, used by CI's bench smoke.
+
+func benchKernel2D(b *testing.B, useBlock bool) {
+	const NX, NY, H = 128, 128, 1
+	sy := NY + 2*H
+	total := (NX + 2*H) * sy
+	rng := rand.New(rand.NewSource(21))
+	src := make([]float64, total)
+	dst := make([]float64, total)
+	for i := range src {
+		src[i] = rng.Float64()
+	}
+	base := H*sy + H
+	b.SetBytes(int64(NX * NY * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if useBlock {
+			Heat2D.B2(dst, src, base, NX, NY, sy)
+		} else {
+			for x := 0; x < NX; x++ {
+				Heat2D.K2(dst, src, base+x*sy, NY, sy)
+			}
+		}
+	}
+}
+
+func BenchmarkHeat2DRow(b *testing.B)   { benchKernel2D(b, false) }
+func BenchmarkHeat2DBlock(b *testing.B) { benchKernel2D(b, true) }
+
+func benchKernel3D(b *testing.B, useBlock bool) {
+	const N, H = 48, 1
+	sy := N + 2*H
+	sx := sy * sy
+	total := (N + 2*H) * sx
+	rng := rand.New(rand.NewSource(22))
+	src := make([]float64, total)
+	dst := make([]float64, total)
+	for i := range src {
+		src[i] = rng.Float64()
+	}
+	base := H*sx + H*sy + H
+	b.SetBytes(int64(N * N * N * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if useBlock {
+			Heat3D.B3(dst, src, base, N, N, N, sy, sx)
+		} else {
+			for x := 0; x < N; x++ {
+				for y := 0; y < N; y++ {
+					Heat3D.K3(dst, src, base+x*sx+y*sy, N, sy, sx)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkHeat3DRow(b *testing.B)   { benchKernel3D(b, false) }
+func BenchmarkHeat3DBlock(b *testing.B) { benchKernel3D(b, true) }

@@ -140,3 +140,19 @@ func (g *Generic) Apply(dst, src []float64, i int, flat []int) {
 	}
 	dst[i] = acc
 }
+
+// ApplyRow updates the stride-1 row dst[base .. base+n): n calls to
+// Apply fused into one, hoisting the per-point call and the coeff
+// slice loads out of the executors' odometer loops. Each point's
+// accumulation order is exactly Apply's, so results are bitwise
+// identical.
+func (g *Generic) ApplyRow(dst, src []float64, base, n int, flat []int) {
+	coeffs := g.Coeffs
+	for i := base; i < base+n; i++ {
+		var acc float64
+		for k, d := range flat {
+			acc += coeffs[k] * src[i+d]
+		}
+		dst[i] = acc
+	}
+}

@@ -24,6 +24,33 @@ type Kernel2D func(dst, src []float64, base, n, sy int)
 // and sx are the y and x strides and the pencil is z-contiguous.
 type Kernel3D func(dst, src []float64, base, n, sy, sx int)
 
+// Block kernels receive a whole clipped box and iterate its rows
+// internally, so the per-row indirect call and the per-row bounds
+// checks of the row path are paid once per box instead of once per
+// row. They are hand-tuned (explicit subslicing for bounds-check
+// elimination, 4-way unrolled inner loops, row-pair processing that
+// reuses loaded north/south and plane neighbours across adjacent
+// rows) but bitwise-identical to the row kernels: each point's
+// floating-point expression is evaluated in exactly the row kernel's
+// order, so any executor may dispatch to either path freely.
+//
+// The contract matches the row kernels': the box must be surrounded
+// by at least the stencil's slope of valid data (interior or halo) in
+// every dimension. Degenerate boxes (any extent zero) are no-ops.
+
+// Kernel1DBlock updates dst[lo .. hi) like Kernel1D; it exists as a
+// separate field so the tuned variant is opt-in per spec.
+type Kernel1DBlock func(dst, src []float64, lo, hi int)
+
+// Kernel2DBlock updates the nx x ny box whose low corner has flat
+// index base; sy is the row stride and rows are y-contiguous.
+type Kernel2DBlock func(dst, src []float64, base, nx, ny, sy int)
+
+// Kernel3DBlock updates the nx x ny x nz box whose low corner has
+// flat index base; sx and sy are the x and y strides and pencils are
+// z-contiguous.
+type Kernel3DBlock func(dst, src []float64, base, nx, ny, nz, sy, sx int)
+
 // Shape classifies the neighbourhood of a stencil.
 type Shape int
 
@@ -57,6 +84,24 @@ type Spec struct {
 	K1 Kernel1D // set iff Dims == 1
 	K2 Kernel2D // set iff Dims == 2
 	K3 Kernel3D // set iff Dims == 3
+
+	// Optional block kernels (the fused fast path). When set, the
+	// executors dispatch whole clipped boxes here; the row kernels
+	// above remain the fallback and the correctness oracle.
+	B1 Kernel1DBlock // optional, Dims == 1
+	B2 Kernel2DBlock // optional, Dims == 2
+	B3 Kernel3DBlock // optional, Dims == 3
+}
+
+// RowOnly returns a copy of the spec with the block kernels cleared,
+// forcing executors onto the row path. Use it whenever a copied spec
+// replaces or wraps a row kernel (tracing, instrumentation, fault
+// injection): a stale block kernel on the copy would silently bypass
+// the replacement.
+func (s *Spec) RowOnly() *Spec {
+	t := *s
+	t.B1, t.B2, t.B3 = nil, nil, nil
+	return &t
 }
 
 // MaxSlope returns the largest per-dimension slope.
@@ -75,22 +120,23 @@ func (s *Spec) String() string {
 	return fmt.Sprintf("%s (%dD %s, slopes %v)", s.Name, s.Dims, s.Shape, s.Slopes)
 }
 
-// The seven benchmark stencils of the paper's Table 4.
+// The seven benchmark stencils of the paper's Table 4. Every spec
+// carries both the shared row kernel and its hand-tuned block variant.
 var (
 	// Heat1D is the 1D 3-point heat equation stencil.
-	Heat1D = &Spec{Name: "heat-1d", Dims: 1, Shape: Star, Slopes: []int{1}, Points: 3, Flops: 5, K1: heat1DRow}
+	Heat1D = &Spec{Name: "heat-1d", Dims: 1, Shape: Star, Slopes: []int{1}, Points: 3, Flops: 5, K1: heat1DRow, B1: heat1DBlock}
 	// P1D5 is the 1D 5-point (order-2) star stencil.
-	P1D5 = &Spec{Name: "1d5p", Dims: 1, Shape: Star, Slopes: []int{2}, Points: 5, Flops: 9, K1: p1d5Row}
+	P1D5 = &Spec{Name: "1d5p", Dims: 1, Shape: Star, Slopes: []int{2}, Points: 5, Flops: 9, K1: p1d5Row, B1: p1d5Block}
 	// Heat2D is the 2D 5-point heat equation stencil.
-	Heat2D = &Spec{Name: "heat-2d", Dims: 2, Shape: Star, Slopes: []int{1, 1}, Points: 5, Flops: 9, K2: heat2DRow}
+	Heat2D = &Spec{Name: "heat-2d", Dims: 2, Shape: Star, Slopes: []int{1, 1}, Points: 5, Flops: 9, K2: heat2DRow, B2: heat2DBlock}
 	// Box2D9 is the 2D 9-point box stencil.
-	Box2D9 = &Spec{Name: "2d9p", Dims: 2, Shape: Box, Slopes: []int{1, 1}, Points: 9, Flops: 17, K2: box2D9Row}
+	Box2D9 = &Spec{Name: "2d9p", Dims: 2, Shape: Box, Slopes: []int{1, 1}, Points: 9, Flops: 17, K2: box2D9Row, B2: box2D9Block}
 	// Life is Conway's Game of Life (2D 9-point box dependence).
-	Life = &Spec{Name: "game-of-life", Dims: 2, Shape: Box, Slopes: []int{1, 1}, Points: 9, Flops: 9, K2: lifeRow}
+	Life = &Spec{Name: "game-of-life", Dims: 2, Shape: Box, Slopes: []int{1, 1}, Points: 9, Flops: 9, K2: lifeRow, B2: lifeBlock}
 	// Heat3D is the 3D 7-point heat equation stencil.
-	Heat3D = &Spec{Name: "heat-3d", Dims: 3, Shape: Star, Slopes: []int{1, 1, 1}, Points: 7, Flops: 13, K3: heat3DRow}
+	Heat3D = &Spec{Name: "heat-3d", Dims: 3, Shape: Star, Slopes: []int{1, 1, 1}, Points: 7, Flops: 13, K3: heat3DRow, B3: heat3DBlock}
 	// Box3D27 is the 3D 27-point box stencil.
-	Box3D27 = &Spec{Name: "3d27p", Dims: 3, Shape: Box, Slopes: []int{1, 1, 1}, Points: 27, Flops: 53, K3: box3D27Row}
+	Box3D27 = &Spec{Name: "3d27p", Dims: 3, Shape: Box, Slopes: []int{1, 1, 1}, Points: 27, Flops: 53, K3: box3D27Row, B3: box3D27Block}
 )
 
 // All lists the benchmark stencils in the order of the paper's Table 4.

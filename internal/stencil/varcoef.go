@@ -38,6 +38,35 @@ func NewVarCoef2D(kappa []float64) *Spec {
 				dst[i] = acc
 			}
 		},
+		B2: func(dst, src []float64, base, nx, ny, sy int) {
+			if ny <= 0 {
+				return
+			}
+			for x := 0; x < nx; x++ {
+				b := base + x*sy
+				d := dst[b : b+ny]
+				cc := src[b : b+ny]
+				ww := src[b-1 : b-1+ny]
+				ee := src[b+1 : b+1+ny]
+				nn := src[b-sy : b-sy+ny]
+				ss := src[b+sy : b+sy+ny]
+				kc := k[b : b+ny]
+				kw := k[b-1 : b-1+ny]
+				ke := k[b+1 : b+1+ny]
+				kn := k[b-sy : b-sy+ny]
+				ks := k[b+sy : b+sy+ny]
+				for j := 0; j < ny; j++ {
+					u := cc[j]
+					kj := kc[j]
+					acc := u
+					acc += (kj + kw[j]) * 0.125 * (ww[j] - u)
+					acc += (kj + ke[j]) * 0.125 * (ee[j] - u)
+					acc += (kj + kn[j]) * 0.125 * (nn[j] - u)
+					acc += (kj + ks[j]) * 0.125 * (ss[j] - u)
+					d[j] = acc
+				}
+			}
+		},
 	}
 }
 
@@ -67,6 +96,43 @@ func NewVarCoef3D(kappa []float64) *Spec {
 				acc += (k[i] + k[i-sx]) * w * (src[i-sx] - u)
 				acc += (k[i] + k[i+sx]) * w * (src[i+sx] - u)
 				dst[i] = acc
+			}
+		},
+		B3: func(dst, src []float64, base, nx, ny, nz, sy, sx int) {
+			if nz <= 0 {
+				return
+			}
+			for x := 0; x < nx; x++ {
+				for y := 0; y < ny; y++ {
+					b := base + x*sx + y*sy
+					d := dst[b : b+nz]
+					cc := src[b : b+nz]
+					ww := src[b-1 : b-1+nz]
+					ee := src[b+1 : b+1+nz]
+					nn := src[b-sy : b-sy+nz]
+					ss := src[b+sy : b+sy+nz]
+					uu := src[b-sx : b-sx+nz]
+					vv := src[b+sx : b+sx+nz]
+					kc := k[b : b+nz]
+					kw := k[b-1 : b-1+nz]
+					ke := k[b+1 : b+1+nz]
+					kn := k[b-sy : b-sy+nz]
+					ks := k[b+sy : b+sy+nz]
+					ku := k[b-sx : b-sx+nz]
+					kv := k[b+sx : b+sx+nz]
+					for j := 0; j < nz; j++ {
+						u := cc[j]
+						kj := kc[j]
+						acc := u
+						acc += (kj + kw[j]) * w * (ww[j] - u)
+						acc += (kj + ke[j]) * w * (ee[j] - u)
+						acc += (kj + kn[j]) * w * (nn[j] - u)
+						acc += (kj + ks[j]) * w * (ss[j] - u)
+						acc += (kj + ku[j]) * w * (uu[j] - u)
+						acc += (kj + kv[j]) * w * (vv[j] - u)
+						d[j] = acc
+					}
+				}
 			}
 		},
 	}

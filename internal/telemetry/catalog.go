@@ -89,6 +89,19 @@ var (
 	PointsUpdated = Default.NewShardedCounter(
 		"tess_points_updated_total",
 		"Grid point updates performed by the tessellation executors.").ShardedCounter()
+	// KernelCallsFamily counts stencil kernel invocations by dispatch
+	// path: "row" for the per-row fallback kernels, "block" for the
+	// fused block kernels that receive a whole clipped box. The ratio
+	// shows how much of a run actually takes the fast path. Sharded per
+	// worker like PointsUpdated.
+	KernelCallsFamily = Default.NewShardedCounter(
+		"tess_kernel_calls_total",
+		"Stencil kernel invocations by the executors, by dispatch path.",
+		"path")
+	// KernelCallsRow / KernelCallsBlock are the cached per-path
+	// children of KernelCallsFamily.
+	KernelCallsRow   = KernelCallsFamily.ShardedCounter("row")
+	KernelCallsBlock = KernelCallsFamily.ShardedCounter("block")
 )
 
 // internal/dist — distributed-memory exchange.
