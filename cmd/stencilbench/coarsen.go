@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"tessellate/internal/bench"
+)
+
+// runCompareCoarsening drives bench.CompareCoarsening, renders the
+// human-readable table, and optionally writes the JSON report
+// (BENCH_COARSEN.json schema).
+func runCompareCoarsening(w io.Writer, scale, threads int, jsonPath string) error {
+	fmt.Fprintf(w, "dispatch coarsening comparison: heat-2d (fig 10) + heat-3d (fig 11a) + fine-grain sweep, 1/%d scale, %d threads\n", scale, threads)
+	rep, err := bench.CompareCoarsening(scale, threads)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tvariant\tper-stage\tseconds\tMLUP/s\tvs none")
+	for _, r := range rep.Results {
+		per := "-"
+		if len(r.PerStage) > 0 {
+			per = fmt.Sprint(r.PerStage)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%.1f\t%.3fx\n",
+			r.Workload, r.Variant, per, r.Seconds, r.MUpdates, r.SpeedupVsNone)
+	}
+	tw.Flush()
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote coarsening report to %s\n", jsonPath)
+	}
+	return nil
+}

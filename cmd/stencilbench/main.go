@@ -13,8 +13,10 @@
 //	stencilbench -adaptive             # online re-tuning demo (pessimal seed vs adaptive)
 //	stencilbench -compare-placement    # dynamic vs sticky(+pin) scheduling comparison
 //	stencilbench -compare-kernels      # row vs fused block kernel dispatch comparison
+//	stencilbench -compare-coarsening   # none vs global vs per-stage dispatch coarsening
 //	stencilbench -paper -fig 8         # full paper problem sizes (hours!)
 //	stencilbench -threads 1,2,4,8      # thread sweep points
+//	stencilbench -fig 10 -coarsen-per-stage 8,2   # fixed per-stage coarsening vector
 //
 // Scheduling & placement (see DESIGN.md §Scheduling & placement):
 //
@@ -29,15 +31,16 @@
 // Flag matrix — exactly one mode flag per invocation, and the
 // modifiers each mode accepts:
 //
-//	mode                | -scale/-paper  -threads  -csv  -pin/-sticky  -telemetry/-trace
-//	-list               |      no           no      no        no              no
-//	-fig <one>          |     yes          yes     yes       yes             yes
-//	-fig all            |     yes          yes      no       yes             yes
-//	-ablate             |     yes          yes      no       yes             yes
-//	-concurrency        |     yes           no      no        no             yes
-//	-adaptive           |     yes          yes      no       yes             yes
-//	-compare-placement  |     yes          yes      no        no             yes
-//	-compare-kernels    |     yes          yes      no       yes             yes
+//	mode                 | -scale/-paper  -threads  -csv  -pin/-sticky  -telemetry/-trace
+//	-list                |      no           no      no        no              no
+//	-fig <one>           |     yes          yes     yes       yes             yes
+//	-fig all             |     yes          yes      no       yes             yes
+//	-ablate              |     yes          yes      no       yes             yes
+//	-concurrency         |     yes           no      no        no             yes
+//	-adaptive            |     yes          yes      no       yes             yes
+//	-compare-placement   |     yes          yes      no        no             yes
+//	-compare-kernels     |     yes          yes      no       yes             yes
+//	-compare-coarsening  |     yes          yes      no       yes             yes
 //
 // -csv needs a single -fig to name the measurement sweep it exports;
 // combining it with -list, -ablate, -concurrency, -adaptive or
@@ -49,6 +52,12 @@
 // (the BENCH_PAR.json schema). -compare-kernels measures the row vs
 // fused-block kernel dispatch paths (BENCH_KERNELS.json schema) and
 // enforces bitwise checksum agreement between them.
+// -coarsen-per-stage applies a fixed per-stage dispatch coarsening
+// vector (comma-separated factors, entry i for stage-i regions;
+// see Options.CoarsenPerStage) to every tessellation measurement of
+// the run; -compare-coarsening measures the uncoarsened, best-global
+// and autotuned per-stage variants itself (BENCH_COARSEN.json schema,
+// checksums enforced across variants), so the knob is rejected there.
 package main
 
 import (
@@ -60,6 +69,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"tessellate"
 	"tessellate/internal/bench"
 	"tessellate/internal/telemetry"
 )
@@ -81,7 +91,9 @@ func main() {
 		sticky  = flag.Bool("sticky", false, "use the sticky (static) block→worker mapping with work-stealing")
 		cmpPl   = flag.Bool("compare-placement", false, "compare dynamic vs sticky(+pin) scheduling on Heat-2D/3D and sweep dispatch overhead")
 		cmpKr   = flag.Bool("compare-kernels", false, "compare row vs fused block kernel dispatch on Heat-2D/3D plus a short-row sweep")
-		jsonOut = flag.String("json", "", "compare-placement/-compare-kernels: also write the report as JSON to this file")
+		cmpCo   = flag.Bool("compare-coarsening", false, "compare uncoarsened vs best-global vs per-stage dispatch coarsening on Heat-2D/3D plus a fine-grain sweep")
+		coarsen = flag.String("coarsen-per-stage", "", "comma-separated per-stage dispatch coarsening factors applied to tessellation measurements (entry i = stage i)")
+		jsonOut = flag.String("json", "", "compare-placement/-compare-kernels/-compare-coarsening: also write the report as JSON to this file")
 		telAddr = flag.String("telemetry", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. :8080) and enable instrumentation")
 		traceTo = flag.String("trace", "", "write a Chrome trace_event JSON dump of the run to this file (enables instrumentation)")
 	)
@@ -94,17 +106,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc || *adapt || *cmpPl || *cmpKr) {
-		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency, -adaptive, -compare-placement, -compare-kernels or -fig all"))
+	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc || *adapt || *cmpPl || *cmpKr || *cmpCo) {
+		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency, -adaptive, -compare-placement, -compare-kernels, -compare-coarsening or -fig all"))
 	}
 	if *cmpPl && (*pin || *sticky) {
 		fatal(fmt.Errorf("-compare-placement measures every placement itself; -pin/-sticky cannot be combined with it"))
 	}
-	if *cmpKr && *cmpPl {
-		fatal(fmt.Errorf("-compare-kernels and -compare-placement are separate modes; pick one"))
+	if moreThanOne(*cmpKr, *cmpPl, *cmpCo) {
+		fatal(fmt.Errorf("-compare-kernels, -compare-placement and -compare-coarsening are separate modes; pick one"))
 	}
-	if *jsonOut != "" && !*cmpPl && !*cmpKr {
-		fatal(fmt.Errorf("-json is only meaningful with -compare-placement or -compare-kernels"))
+	if *jsonOut != "" && !*cmpPl && !*cmpKr && !*cmpCo {
+		fatal(fmt.Errorf("-json is only meaningful with -compare-placement, -compare-kernels or -compare-coarsening"))
+	}
+	if *coarsen != "" {
+		if *cmpCo {
+			fatal(fmt.Errorf("-compare-coarsening measures every coarsening variant itself; -coarsen-per-stage cannot be combined with it"))
+		}
+		per, err := parseCoarsening(*coarsen)
+		if err != nil {
+			fatal(err)
+		}
+		bench.SetCoarsening(per)
 	}
 	bench.SetPlacement(bench.Placement{Sticky: *sticky, Pin: *pin, FirstTouch: *sticky || *pin})
 
@@ -146,6 +168,10 @@ func main() {
 		}
 	case *cmpKr:
 		if err := runCompareKernels(os.Stdout, *scale, ths[len(ths)-1], *jsonOut); err != nil {
+			fatal(err)
+		}
+	case *cmpCo:
+		if err := runCompareCoarsening(os.Stdout, *scale, ths[len(ths)-1], *jsonOut); err != nil {
 			fatal(err)
 		}
 	case *fig == "all":
@@ -211,6 +237,29 @@ func parseThreads(s string) ([]int, error) {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || v < 1 {
 			return nil, fmt.Errorf("stencilbench: bad thread count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// moreThanOne reports whether more than one of the flags is set.
+func moreThanOne(flags ...bool) bool {
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return n > 1
+}
+
+func parseCoarsening(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 || v > tessellate.MaxCoarsenFactor {
+			return nil, fmt.Errorf("stencilbench: bad coarsening factor %q (want 1..%d)", f, tessellate.MaxCoarsenFactor)
 		}
 		out = append(out, v)
 	}

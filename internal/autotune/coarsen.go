@@ -1,0 +1,245 @@
+// Per-stage coarsening equalization: the §4.2 coarsening factor, one
+// knob per tessellation stage, chosen from live telemetry. The B_0
+// hypercube and the glued stages have different surface-to-volume
+// ratios, so their per-block wall cost differs; dispatching every
+// stage at the same per-block grain leaves the cheap stages dominated
+// by scheduling overhead. EqualizeCoarsening measures each stage's
+// mean wall time per block (per-stage tess_stage_duration_seconds
+// children divided by tess_stage_blocks_total) and picks factors that
+// bring every stage's per-work-item grain to the grain of the
+// coarsest stage, iterating until the grain coefficient of variation
+// falls below a target.
+
+package autotune
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"tessellate"
+	"tessellate/internal/telemetry"
+)
+
+// CoarsenBudget bounds one equalization pass.
+type CoarsenBudget struct {
+	// MinSteps is the minimum timed steps per measurement round
+	// (default 16).
+	MinSteps int
+	// Rounds caps the measure-then-adjust iterations: round 0 always
+	// runs uncoarsened to calibrate, later rounds verify (and refine)
+	// the chosen factors. Default 2.
+	Rounds int
+	// TargetCV is the per-stage grain coefficient of variation below
+	// which the iteration stops early. Default 0.25.
+	TargetCV float64
+	// MinGrainSeconds is the minimum profitable per-work-item grain.
+	// The equalizer levels every stage to the grain of the coarsest
+	// stage — but when even that stage's per-block cost sits below this
+	// floor, dispatch overhead dominates all stages equally and every
+	// factor is raised toward the floor instead. Default 50µs (dispatch
+	// costs a few µs per work item; 50µs keeps it under a few percent).
+	MinGrainSeconds float64
+}
+
+func (b *CoarsenBudget) defaults() {
+	if b.MinSteps < 1 {
+		b.MinSteps = 16
+	}
+	if b.Rounds < 1 {
+		b.Rounds = 2
+	}
+	if b.TargetCV <= 0 {
+		b.TargetCV = 0.25
+	}
+	if b.MinGrainSeconds <= 0 {
+		b.MinGrainSeconds = 50e-6
+	}
+}
+
+// CoarsenStage reports the measured state of one coarsening slot in
+// the final round.
+type CoarsenStage struct {
+	// Slot is the index into the coarsening vector; Kind is the
+	// telemetry label the slot was measured from ("diamond" or
+	// "stage<i>").
+	Slot int
+	Kind string
+	// Regions and Blocks are the sample counts of the final round.
+	Regions, Blocks uint64
+	// PerBlockSeconds is the measured mean wall time per block;
+	// GrainSeconds is PerBlockSeconds times the adopted factor — the
+	// quantity the equalizer levels across stages.
+	PerBlockSeconds float64
+	GrainSeconds    float64
+	// Factor is the adopted coarsening factor for this slot.
+	Factor int
+}
+
+// CoarsenResult is the outcome of EqualizeCoarsening.
+type CoarsenResult struct {
+	// PerStage is the equalized coarsening vector, ready for
+	// Options.CoarsenPerStage.
+	PerStage []int
+	// Stages holds the final round's per-slot measurements.
+	Stages []CoarsenStage
+	// BaselineCV and GrainCV are the per-stage grain coefficients of
+	// variation before (factors all 1) and after equalization.
+	BaselineCV, GrainCV float64
+	// Rounds is the number of measurement rounds executed.
+	Rounds int
+	// Rate is the final round's throughput in million updates/s.
+	Rate float64
+}
+
+// coarsenSlots maps the coarsening vector slots of a d-dimensional
+// (un)merged schedule to the telemetry kind labels they are measured
+// from. Merged schedules run stages 1..d-1 plus diamonds (which fill
+// slot 0, the B_0 slot they absorb); unmerged schedules run stages
+// 0..d.
+func coarsenSlots(d int, merged bool) []CoarsenStage {
+	var out []CoarsenStage
+	if merged {
+		out = append(out, CoarsenStage{Slot: 0, Kind: "diamond"})
+		for i := 1; i < d; i++ {
+			out = append(out, CoarsenStage{Slot: i, Kind: "stage" + strconv.Itoa(i)})
+		}
+		return out
+	}
+	for i := 0; i <= d; i++ {
+		out = append(out, CoarsenStage{Slot: i, Kind: "stage" + strconv.Itoa(i)})
+	}
+	return out
+}
+
+// grainCV returns the coefficient of variation (stddev/mean) of the
+// slots' grains, counting only slots with samples.
+func grainCV(stages []CoarsenStage) float64 {
+	var sum float64
+	n := 0
+	for _, s := range stages {
+		if s.Regions == 0 {
+			continue
+		}
+		sum += s.GrainSeconds
+		n++
+	}
+	if n < 2 || sum <= 0 {
+		return 0
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, s := range stages {
+		if s.Regions == 0 {
+			continue
+		}
+		d := s.GrainSeconds - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(n)) / mean
+}
+
+// EqualizeCoarsening measures the per-stage per-block wall cost of
+// the given tiling on throwaway grids and returns a coarsening vector
+// that equalizes per-work-item grain across stages: each stage's
+// factor is the ratio of the coarsest stage's per-block cost to its
+// own, clamped to [1, MaxCoarsenFactor] and to a fraction of the
+// stage's blocks per region so every worker still gets work. The
+// tiling must be fully resolved (TimeTile and Block set, tessellation
+// scheme). Telemetry is enabled as a side effect.
+func EqualizeCoarsening(eng *tessellate.Engine, spec *tessellate.Stencil, dims []int, opt tessellate.Options, budget CoarsenBudget) (CoarsenResult, error) {
+	var res CoarsenResult
+	if opt.Scheme != tessellate.Tessellation {
+		return res, fmt.Errorf("autotune: coarsening applies only to the tessellation scheme, got %v", opt.Scheme)
+	}
+	if opt.TimeTile < 1 || len(opt.Block) != len(dims) {
+		return res, fmt.Errorf("autotune: EqualizeCoarsening needs a resolved tiling, got %+v", opt)
+	}
+	budget.defaults()
+	telemetry.Enable()
+
+	d := len(dims)
+	slots := coarsenSlots(d, !opt.NoMerge)
+	per := make([]int, d+1)
+	for i := range per {
+		per[i] = 1
+	}
+	threads := eng.Threads()
+	if threads < 1 {
+		threads = 1
+	}
+
+	preH := make([]telemetry.HistSnapshot, len(slots))
+	preB := make([]uint64, len(slots))
+	for round := 0; round < budget.Rounds; round++ {
+		o := opt
+		o.CoarsenPerStage = append([]int(nil), per...)
+		for i, s := range slots {
+			preH[i] = telemetry.StageDuration.Histogram(s.Kind).Snapshot()
+			preB[i] = telemetry.StageBlocks.Counter(s.Kind).Value()
+		}
+		tr, err := measure(eng, spec, dims, o, budget.MinSteps)
+		if err != nil {
+			return res, err
+		}
+		res.Rate = tr.MUpdates
+		res.Rounds = round + 1
+
+		maxTau := 0.0
+		for i := range slots {
+			s := &slots[i]
+			h := telemetry.StageDuration.Histogram(s.Kind).Snapshot().Delta(preH[i])
+			blocks := telemetry.StageBlocks.Counter(s.Kind).Value() - preB[i]
+			s.Regions, s.Blocks = h.Count, blocks
+			s.Factor = per[s.Slot]
+			if h.Count == 0 || blocks == 0 {
+				s.PerBlockSeconds, s.GrainSeconds = 0, 0
+				continue
+			}
+			s.PerBlockSeconds = h.Sum / float64(blocks)
+			s.GrainSeconds = s.PerBlockSeconds * float64(s.Factor)
+			if s.PerBlockSeconds > maxTau {
+				maxTau = s.PerBlockSeconds
+			}
+		}
+		cv := grainCV(slots)
+		if round == 0 {
+			res.BaselineCV = cv
+		}
+		res.GrainCV = cv
+		// The returned vector is always the one the last round actually
+		// measured, so stop before adjusting on the final round.
+		if round == budget.Rounds-1 || (cv <= budget.TargetCV && round > 0) || maxTau <= 0 {
+			break
+		}
+		// Equalize: bring every stage's per-item grain to the grain of
+		// the coarsest stage — or to the minimum profitable grain when
+		// even that stage is overhead-dominated — but never group past
+		// the point where a region has fewer than two work items per
+		// worker.
+		target := maxTau
+		if target < budget.MinGrainSeconds {
+			target = budget.MinGrainSeconds
+		}
+		for _, s := range slots {
+			if s.Regions == 0 || s.PerBlockSeconds <= 0 {
+				continue
+			}
+			f := int(math.Round(target / s.PerBlockSeconds))
+			perRegion := int(s.Blocks / s.Regions)
+			if lim := perRegion / (2 * threads); f > lim {
+				f = lim
+			}
+			if f < 1 {
+				f = 1
+			}
+			if f > tessellate.MaxCoarsenFactor {
+				f = tessellate.MaxCoarsenFactor
+			}
+			per[s.Slot] = f
+		}
+	}
+	res.PerStage = per
+	res.Stages = append([]CoarsenStage(nil), slots...)
+	return res, nil
+}

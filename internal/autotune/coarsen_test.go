@@ -1,0 +1,214 @@
+package autotune
+
+import (
+	"testing"
+
+	"tessellate"
+	"tessellate/internal/telemetry"
+)
+
+// EqualizeCoarsening must return a legal per-stage vector (one slot
+// per stage, factors in range), report per-slot measurements for the
+// slots the schedule actually runs, and the vector must be invisible
+// in the numerics.
+func TestEqualizeCoarseningVector(t *testing.T) {
+	spec := tessellate.Heat2D
+	dims := []int{128, 128}
+	eng := tessellate.NewEngine(2)
+	defer eng.Close()
+	defer telemetry.Disable()
+
+	opt := tessellate.Options{TimeTile: 2, Block: []int{8, 8}}
+	res, err := EqualizeCoarsening(eng, spec, dims, opt, CoarsenBudget{MinSteps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerStage) != len(dims)+1 {
+		t.Fatalf("vector %v has %d slots, want %d", res.PerStage, len(res.PerStage), len(dims)+1)
+	}
+	for i, f := range res.PerStage {
+		if f < 1 || f > tessellate.MaxCoarsenFactor {
+			t.Fatalf("PerStage[%d] = %d out of [1, %d]", i, f, tessellate.MaxCoarsenFactor)
+		}
+	}
+	if res.Rounds < 1 {
+		t.Fatalf("Rounds = %d, want >= 1", res.Rounds)
+	}
+	// Merged 2D schedules run diamonds (slot 0) and stage 1; both must
+	// have been measured, and the reported factors must match the
+	// returned vector (the vector is the one the last round measured).
+	if len(res.Stages) != 2 {
+		t.Fatalf("Stages = %+v, want 2 slots for merged 2D", res.Stages)
+	}
+	for _, s := range res.Stages {
+		if s.Regions == 0 || s.Blocks == 0 {
+			t.Fatalf("slot %d (%s) has no samples: %+v", s.Slot, s.Kind, s)
+		}
+		if s.Factor != res.PerStage[s.Slot] {
+			t.Fatalf("slot %d reports factor %d, vector has %d", s.Slot, s.Factor, res.PerStage[s.Slot])
+		}
+	}
+
+	// The chosen vector must not change the numbers.
+	g := tessellate.NewGrid2D(dims[0], dims[1], 1, 1)
+	g.Fill(func(x, y int) float64 { return float64((5*x+3*y)%13) * 0.25 })
+	ref := g.Clone()
+	const steps = 9
+	if err := eng.Run2D(ref, spec, steps, opt); err != nil {
+		t.Fatal(err)
+	}
+	co := opt
+	co.CoarsenPerStage = res.PerStage
+	if err := eng.Run2D(g, spec, steps, co); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < dims[0]; x++ {
+		for y := 0; y < dims[1]; y++ {
+			if g.At(x, y) != ref.At(x, y) {
+				t.Fatalf("equalized vector %v changed the numerics at (%d,%d)", res.PerStage, x, y)
+			}
+		}
+	}
+}
+
+func TestEqualizeCoarseningRejectsUnresolved(t *testing.T) {
+	eng := tessellate.NewEngine(1)
+	defer eng.Close()
+	defer telemetry.Disable()
+	dims := []int{64, 64}
+	if _, err := EqualizeCoarsening(eng, tessellate.Heat2D, dims,
+		tessellate.Options{Scheme: tessellate.Naive}, CoarsenBudget{}); err == nil {
+		t.Fatal("accepted a non-tessellation scheme")
+	}
+	if _, err := EqualizeCoarsening(eng, tessellate.Heat2D, dims,
+		tessellate.Options{}, CoarsenBudget{}); err == nil {
+		t.Fatal("accepted an unresolved tiling")
+	}
+}
+
+// dispatchInjector wraps a Retuner and feeds synthetic samples into
+// the pool dispatch-latency histogram before every consultation: a low
+// steady latency up to slowAfter steps, a 10x latency beyond it. With
+// a single-threaded engine the serial fast path records no natural
+// dispatch samples, so the injected distribution is exactly what the
+// controller sees.
+type dispatchInjector struct {
+	inner     tessellate.Retuner
+	slowAfter int
+}
+
+func (d *dispatchInjector) Phases() int { return d.inner.Phases() }
+
+func (d *dispatchInjector) Retune(b tessellate.PhaseBoundary) (tessellate.Options, bool) {
+	lat := 50e-6
+	if b.StepsDone >= d.slowAfter {
+		lat = 500e-6
+	}
+	for i := 0; i < 32; i++ {
+		telemetry.PoolDispatchSeconds.Observe(lat)
+	}
+	return d.inner.Retune(b)
+}
+
+// Rising dispatch latency alone — stage durations stable — must trip
+// the detector exactly once, with the event attributed to the
+// dispatch trigger: after the re-tune the dispatch baseline is
+// re-established under the new latency regime, so the steady slow
+// state is not drift.
+func TestControllerDispatchDriftTriggersExactlyOneRetune(t *testing.T) {
+	const nx, ny, steps = 64, 64, 40
+	dims := []int{nx, ny}
+	eng := tessellate.NewEngine(1)
+	defer eng.Close()
+
+	ctrl := NewController(eng, tessellate.Heat2D, dims, OnlineConfig{
+		Interval:          2,
+		Threshold:         100, // stage trigger effectively off
+		DispatchThreshold: 1.0, // re-tune on a 2x dispatch-latency shift
+		MinSamples:        4,
+		MaxRetunes:        5, // well above 1: the detector must stop on its own
+		Trials:            4,
+		MinSteps:          8,
+	})
+	defer telemetry.Disable()
+
+	seed := tessellate.Options{TimeTile: 2, Block: []int{8, 8}}
+	wrapper := &dispatchInjector{inner: ctrl, slowAfter: 8}
+
+	g := tessellate.NewGrid2D(nx, ny, 1, 1)
+	g.Fill(func(x, y int) float64 { return float64((3*x+5*y)%23) * 0.125 })
+	ref := g.Clone()
+
+	if err := eng.RunAdaptive2D(g, tessellate.Heat2D, steps, seed, wrapper); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := ctrl.Retunes(); got != 1 {
+		t.Fatalf("controller re-tuned %d times (events %+v), want exactly 1", got, ctrl.Events())
+	}
+	evs := ctrl.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Cause != "dispatch" {
+		t.Fatalf("re-tune cause %q, want \"dispatch\" (event %+v)", ev.Cause, ev)
+	}
+	if ev.DispatchMean <= ev.DispatchBaseline {
+		t.Fatalf("dispatch window mean %g not above baseline %g", ev.DispatchMean, ev.DispatchBaseline)
+	}
+	if ev.DispatchBaseline <= 0 {
+		t.Fatal("dispatch baseline was never established")
+	}
+
+	// The injected latency is synthetic; the run itself must be exact.
+	if err := eng.Run2D(ref, tessellate.Heat2D, steps, tessellate.Options{Scheme: tessellate.Naive}); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			if g.At(x, y) != ref.At(x, y) {
+				t.Fatalf("adaptive run diverged from naive at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+// A TuneOnStart controller with EqualizeGrain must adopt a per-stage
+// coarsening vector alongside the calibrated tiles.
+func TestControllerEqualizeGrainAdoptsVector(t *testing.T) {
+	const nx, ny, steps = 96, 96, 24
+	dims := []int{nx, ny}
+	eng := tessellate.NewEngine(2)
+	defer eng.Close()
+
+	ctrl := NewController(eng, tessellate.Heat2D, dims, OnlineConfig{
+		Interval:      2,
+		Trials:        3,
+		MinSteps:      8,
+		TuneOnStart:   true,
+		EqualizeGrain: true,
+	})
+	defer telemetry.Disable()
+
+	g := tessellate.NewGrid2D(nx, ny, 1, 1)
+	g.Fill(func(x, y int) float64 { return float64((x+2*y)%11) * 0.5 })
+	if err := eng.RunAdaptive2D(g, tessellate.Heat2D, steps,
+		tessellate.Options{TimeTile: 2, Block: []int{8, 8}}, ctrl); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := ctrl.Events()
+	if len(evs) == 0 || !evs[0].Initial {
+		t.Fatalf("no calibration search ran: events %+v", evs)
+	}
+	per := evs[0].After.CoarsenPerStage
+	if len(per) != len(dims)+1 {
+		t.Fatalf("calibration adopted coarsening %v, want %d slots", per, len(dims)+1)
+	}
+	for i, f := range per {
+		if f < 1 || f > tessellate.MaxCoarsenFactor {
+			t.Fatalf("adopted PerStage[%d] = %d out of range", i, f)
+		}
+	}
+}

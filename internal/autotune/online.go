@@ -49,6 +49,18 @@ type OnlineConfig struct {
 	// leave it false when the run starts from an offline Search
 	// result.
 	TuneOnStart bool
+	// DispatchThreshold is the relative shift of the windowed mean
+	// pool dispatch latency (tess_pool_dispatch_seconds) versus its
+	// tuning-time baseline that counts as drift on its own, even when
+	// stage durations look stable — rising dispatch latency signals
+	// scheduling overhead (oversubscription, interference) that
+	// re-tiling to a coarser grain can absorb. 0 disables the
+	// dispatch-latency trigger (the default).
+	DispatchThreshold float64
+	// EqualizeGrain makes every (re-)tune follow the winning (BT, Big)
+	// search with an EqualizeCoarsening pass, adopting the resulting
+	// per-stage coarsening vector alongside the tiles.
+	EqualizeGrain bool
 }
 
 func (c *OnlineConfig) defaults() {
@@ -86,8 +98,14 @@ type Event struct {
 	// Zero for the initial calibration search, which is not
 	// drift-triggered.
 	WindowMean, BaselineMean float64
-	// DispatchMean is the mean pool dispatch latency of the window.
-	DispatchMean float64
+	// DispatchMean is the mean pool dispatch latency of the window;
+	// DispatchBaseline is the latency baseline it was compared against
+	// (zero until the dispatch baseline is established).
+	DispatchMean     float64
+	DispatchBaseline float64
+	// Cause names what tripped the detector: "stage", "dispatch" or
+	// "stage+dispatch"; empty for an initial calibration search.
+	Cause string
 	// Rate is the measured throughput of the adopted tiling, in
 	// millions of point updates per second.
 	Rate float64
@@ -114,15 +132,17 @@ type Controller struct {
 	eng  *tessellate.Engine
 	cfg  OnlineConfig
 
-	mu         sync.Mutex
-	prevStage  telemetry.HistSnapshot
-	prevDia    telemetry.HistSnapshot
-	prevDisp   telemetry.HistSnapshot
-	baseMean   float64
-	baseSet    bool
-	calibrated bool
-	retunes    int
-	events     []Event
+	mu          sync.Mutex
+	prevStage   telemetry.HistSnapshot
+	prevDia     telemetry.HistSnapshot
+	prevDisp    telemetry.HistSnapshot
+	baseMean    float64
+	baseSet     bool
+	baseDisp    float64
+	baseDispSet bool
+	calibrated  bool
+	retunes     int
+	events      []Event
 }
 
 // NewController returns a controller for adaptive runs of spec on a
@@ -186,30 +206,61 @@ func (c *Controller) Retune(b tessellate.PhaseBoundary) (tessellate.Options, boo
 		return tessellate.Options{}, false
 	}
 	mean := (ws.Sum + wd.Sum) / float64(count)
+	dispMean := dispWin.Mean()
 
 	if !c.baseSet {
 		// First trusted window under the current tiling: this is the
 		// baseline every later window is compared against.
 		c.baseMean = mean
 		c.baseSet = true
+		c.rebaseDispatch(dispWin)
 		return tessellate.Options{}, false
 	}
 	if c.baseMean <= 0 {
 		c.baseMean = mean
+		c.rebaseDispatch(dispWin)
 		return tessellate.Options{}, false
 	}
-	if math.Abs(mean-c.baseMean) <= c.cfg.Threshold*c.baseMean {
+	if !c.baseDispSet {
+		// The dispatch baseline may lag the stage baseline: small runs
+		// (or the serial fast path) record few dispatch samples, so it
+		// is established on the first window with enough of them.
+		c.rebaseDispatch(dispWin)
+	}
+	stageDrift := math.Abs(mean-c.baseMean) > c.cfg.Threshold*c.baseMean
+	dispDrift := c.cfg.DispatchThreshold > 0 && c.baseDispSet && c.baseDisp > 0 &&
+		dispWin.Count >= uint64(c.cfg.MinSamples) &&
+		math.Abs(dispMean-c.baseDisp) > c.cfg.DispatchThreshold*c.baseDisp
+	if !stageDrift && !dispDrift {
 		return tessellate.Options{}, false
 	}
 	if c.retunes >= c.cfg.MaxRetunes {
 		return tessellate.Options{}, false
 	}
+	cause := "stage"
+	switch {
+	case stageDrift && dispDrift:
+		cause = "stage+dispatch"
+	case dispDrift:
+		cause = "dispatch"
+	}
 	c.retunes++
 	return c.research(b, Event{
-		WindowMean:   mean,
-		BaselineMean: c.baseMean,
-		DispatchMean: dispWin.Mean(),
+		WindowMean:       mean,
+		BaselineMean:     c.baseMean,
+		DispatchMean:     dispMean,
+		DispatchBaseline: c.baseDisp,
+		Cause:            cause,
 	})
+}
+
+// rebaseDispatch establishes the dispatch-latency baseline from the
+// given window when it holds enough samples to be trusted.
+func (c *Controller) rebaseDispatch(win telemetry.HistSnapshot) {
+	if win.Count >= uint64(c.cfg.MinSamples) {
+		c.baseDisp = win.Mean()
+		c.baseDispSet = true
+	}
 }
 
 // research runs the narrowed candidate search under current machine
@@ -259,8 +310,19 @@ func (c *Controller) research(b tessellate.PhaseBoundary, ev Event) (tessellate.
 		}
 	}
 
+	if ok && c.cfg.EqualizeGrain {
+		// Tiles are settled; level the per-stage dispatch grain on top
+		// of the winner. A failed equalization keeps factors at 1
+		// rather than aborting the re-tune.
+		if res, err := EqualizeCoarsening(c.eng, c.spec, c.dims, best,
+			CoarsenBudget{MinSteps: c.cfg.MinSteps}); err == nil {
+			best.CoarsenPerStage = res.PerStage
+		}
+	}
+
 	c.refreshSnapshots()
 	c.baseSet = false
+	c.baseDispSet = false
 
 	ev.StepsDone = b.StepsDone
 	ev.Before = cur
@@ -312,6 +374,33 @@ func sameOptions(a, b tessellate.Options) bool {
 	}
 	for k := range a.Block {
 		if a.Block[k] != b.Block[k] {
+			return false
+		}
+	}
+	return sameCoarsening(a.CoarsenPerStage, b.CoarsenPerStage)
+}
+
+// sameCoarsening compares coarsening vectors semantically: absent
+// entries default to factor 1, so nil, [1] and [1 1] all coincide.
+func sameCoarsening(a, b []int) bool {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	at := func(v []int, i int) int {
+		if len(v) == 0 {
+			return 1
+		}
+		if i >= len(v) {
+			i = len(v) - 1
+		}
+		if v[i] < 1 {
+			return 1
+		}
+		return v[i]
+	}
+	for i := 0; i < n; i++ {
+		if at(a, i) != at(b, i) {
 			return false
 		}
 	}

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+
+	"tessellate"
+	"tessellate/internal/autotune"
+)
+
+// Coarsening comparison: the experiment behind stencilbench's
+// -compare-coarsening mode and the committed BENCH_COARSEN.json. It
+// measures the §4.2 dispatch coarsening on the same tessellation
+// schedule three ways — uncoarsened, the best uniform (global) factor,
+// and the per-stage vector chosen by the telemetry-driven equalizer —
+// including a fine-grain sweep whose tiny blocks make per-block
+// dispatch and clipping overhead the dominant cost. Coarsening only
+// regroups dispatch, never geometry, so every variant must agree on
+// the checksum bitwise.
+
+// CoarsenVariant is one (workload, coarsening variant) measurement.
+type CoarsenVariant struct {
+	Workload string `json:"workload"`
+	Kernel   string `json:"kernel"`
+	// Variant is "none", "global" or "per-stage".
+	Variant string `json:"variant"`
+	// PerStage is the coarsening vector the variant ran with (absent
+	// for the uncoarsened baseline).
+	PerStage []int   `json:"per_stage,omitempty"`
+	Seconds  float64 `json:"seconds"`
+	MUpdates float64 `json:"mupdates"`
+	// SpeedupVsNone is MUpdates relative to the uncoarsened baseline
+	// of the same workload (1.0 for the baseline itself).
+	SpeedupVsNone float64 `json:"speedup_vs_none"`
+	Checksum      float64 `json:"checksum"`
+}
+
+// CoarsenReport is the full -compare-coarsening output (the schema of
+// BENCH_COARSEN.json).
+type CoarsenReport struct {
+	Threads     int              `json:"threads"`
+	Scale       int              `json:"scale"`
+	Results     []CoarsenVariant `json:"results"`
+	GeneratedBy string           `json:"generated_by"`
+}
+
+// coarseGrainWorkloads are fine-grain tessellations: tiny blocks make
+// the per-block dispatch and bounds-clipping overhead a large fraction
+// of each region, which is exactly the cost coarsening amortises. They
+// are already small and ignore the scale factor.
+var coarseGrainWorkloads = []Workload{
+	{
+		Figure: "coarse", Kernel: "heat-2d",
+		N: []int{1024, 1024}, Steps: 64,
+		TessBT: 2, TessBig: []int{8, 8},
+		DiamondBX: 8, DiamondBT: 4, SkewBT: 2, SkewBX: []int{8, 8},
+	},
+	{
+		Figure: "coarse", Kernel: "heat-3d",
+		N: []int{96, 96, 96}, Steps: 16,
+		TessBT: 1, TessBig: []int{4, 4, 4},
+		DiamondBX: 4, DiamondBT: 2, SkewBT: 1, SkewBX: []int{4, 4, 4},
+	},
+}
+
+// globalCandidates are the uniform factors the "global" variant picks
+// from.
+var globalCandidates = []int{4, 16, 64}
+
+// CompareCoarsening measures uncoarsened vs best-global vs per-stage
+// coarsening on the Heat-2D (fig. 10) and Heat-3D (fig. 11a)
+// tessellation workloads at the given scale and thread count, plus the
+// fine-grain sweep, enforcing bitwise checksum agreement between all
+// variants of every workload.
+func CompareCoarsening(scale, threads int) (CoarsenReport, error) {
+	rep := CoarsenReport{
+		Threads:     threads,
+		Scale:       scale,
+		GeneratedBy: "stencilbench -compare-coarsening",
+	}
+	saved := defaultCoarsening
+	defer SetCoarsening(saved)
+	workloads := []Workload{
+		ByFigure("10")[0].Scaled(scale),  // heat-2d
+		ByFigure("11a")[0].Scaled(scale), // heat-3d
+	}
+	workloads = append(workloads, coarseGrainWorkloads...)
+	// Best of a few repetitions per variant: single runs on a loaded or
+	// single-core machine are noisy enough to invert small margins.
+	const reps = 3
+	for _, w := range workloads {
+		spec, err := tessellate.StencilByName(w.Kernel)
+		if err != nil {
+			return rep, err
+		}
+
+		// Uncoarsened baseline first: its checksum is the oracle every
+		// other variant must reproduce.
+		SetCoarsening(nil)
+		base, err := bestOf(w, threads, reps)
+		if err != nil {
+			return rep, err
+		}
+		rep.Results = append(rep.Results, coarsenRow(w, "none", nil, base, base))
+
+		// Best uniform factor: one probe run per candidate (checksum
+		// enforced), then a full best-of on the winner.
+		bestG := globalCandidates[0]
+		bestRate := 0.0
+		for _, g := range globalCandidates {
+			SetCoarsening([]int{g})
+			m, err := Run(w, tessellate.Tessellation, threads)
+			if err != nil {
+				return rep, err
+			}
+			if m.Checksum != base.Checksum {
+				return rep, fmt.Errorf("bench: %s global factor %d checksum %v != baseline %v",
+					w, g, m.Checksum, base.Checksum)
+			}
+			if m.MUpdates > bestRate {
+				bestRate, bestG = m.MUpdates, g
+			}
+		}
+		SetCoarsening([]int{bestG})
+		gm, err := bestOf(w, threads, reps)
+		if err != nil {
+			return rep, err
+		}
+		if gm.Checksum != base.Checksum {
+			return rep, fmt.Errorf("bench: %s global checksum %v != baseline %v",
+				w, gm.Checksum, base.Checksum)
+		}
+		rep.Results = append(rep.Results, coarsenRow(w, "global", []int{bestG}, gm, base))
+
+		// Per-stage vector from the telemetry-driven equalizer.
+		eng := tessellate.NewEngine(threads)
+		eq, err := autotune.EqualizeCoarsening(eng, spec, w.N,
+			w.Options(tessellate.Tessellation), autotune.CoarsenBudget{})
+		eng.Close()
+		if err != nil {
+			return rep, err
+		}
+		SetCoarsening(eq.PerStage)
+		pm, err := bestOf(w, threads, reps)
+		if err != nil {
+			return rep, err
+		}
+		if pm.Checksum != base.Checksum {
+			return rep, fmt.Errorf("bench: %s per-stage checksum %v != baseline %v",
+				w, pm.Checksum, base.Checksum)
+		}
+		rep.Results = append(rep.Results, coarsenRow(w, "per-stage", eq.PerStage, pm, base))
+	}
+	return rep, nil
+}
+
+// bestOf runs the tessellation scheme reps times under the current
+// process-wide coarsening and returns the fastest measurement,
+// verifying the repetitions agree on the checksum.
+func bestOf(w Workload, threads, reps int) (Measurement, error) {
+	var best Measurement
+	for r := 0; r < reps; r++ {
+		m, err := Run(w, tessellate.Tessellation, threads)
+		if err != nil {
+			return best, err
+		}
+		if r > 0 && m.Checksum != best.Checksum {
+			return best, fmt.Errorf("bench: %s nondeterministic checksum", w)
+		}
+		if r == 0 || m.MUpdates > best.MUpdates {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// coarsenRow assembles one report row relative to the baseline.
+func coarsenRow(w Workload, variant string, per []int, m, base Measurement) CoarsenVariant {
+	return CoarsenVariant{
+		Workload:      w.String(),
+		Kernel:        w.Kernel,
+		Variant:       variant,
+		PerStage:      append([]int(nil), per...),
+		Seconds:       m.Seconds,
+		MUpdates:      m.MUpdates,
+		SpeedupVsNone: m.MUpdates / base.MUpdates,
+		Checksum:      m.Checksum,
+	}
+}

@@ -74,6 +74,19 @@ var defaultPlacement Placement
 // concurrently with measurements.
 func SetPlacement(p Placement) { defaultPlacement = p }
 
+// defaultCoarsening is the per-stage coarsening vector tessellation
+// measurements run with; stencilbench's -coarsen-per-stage flag sets
+// it process-wide via SetCoarsening.
+var defaultCoarsening []int
+
+// SetCoarsening sets the per-stage coarsening vector applied to
+// tessellation-scheme measurements (see Options.CoarsenPerStage). nil
+// or empty restores the uncoarsened default. Not safe to call
+// concurrently with measurements.
+func SetCoarsening(perStage []int) {
+	defaultCoarsening = append([]int(nil), perStage...)
+}
+
 // Run executes workload w with the given scheme and thread count and
 // returns the measurement, under the process-wide default placement.
 // Grids are freshly allocated and seeded deterministically so
@@ -93,6 +106,9 @@ func RunPlaced(w Workload, scheme tessellate.Scheme, threads int, p Placement) (
 	})
 	defer eng.Close()
 	opt := w.Options(scheme)
+	if scheme == tessellate.Tessellation && len(defaultCoarsening) > 0 {
+		opt.CoarsenPerStage = append([]int(nil), defaultCoarsening...)
+	}
 
 	var run func() error
 	var sum func() float64

@@ -39,6 +39,11 @@ type Config struct {
 	// the next execute as one (d+1)-dimensional diamond block, saving
 	// one synchronization per phase and improving reuse.
 	Merge bool
+	// Coarsen sets the §4.2 dispatch coarsening factor per stage: a
+	// factor of c groups c adjacent blocks of a stage's parallel
+	// regions into one scheduled work item. The zero value (no
+	// coarsening) dispatches one item per block.
+	Coarsen Coarsening
 }
 
 // DefaultConfig returns a reasonable configuration for the given
@@ -112,7 +117,7 @@ func (c *Config) Validate() error {
 				k, c.Big[k], c.BT, c.Slopes[k], 2*c.BT*c.Slopes[k])
 		}
 	}
-	return nil
+	return c.Coarsen.validate(d)
 }
 
 // SyncsPerPhase returns the number of synchronizations each phase of BT

@@ -26,23 +26,46 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
-		pool.ForSticky(len(r.Blocks), func(bi, wkr int) {
-			b := &r.Blocks[bi]
+		pool.ForSticky(r.Tasks(), func(gi, wkr int) {
+			b0, b1 := r.Span(gi)
 			var lo, hi [1]int
+			uniform, interior := cfg.groupPlan(&r, b0, b1, lo[:], hi[:])
 			var pts, rows, blocks int64
 			for t := r.T0; t < r.T1; t++ {
-				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
-					continue
+				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
+				var rel0, n0 int
+				if uniform {
+					// One bounds computation covers the whole group:
+					// every block's box is the same origin offset.
+					rep := &r.Blocks[b0]
+					cfg.Bounds(&r, rep, t, lo[:], hi[:])
+					n0 = hi[0] - lo[0]
+					if n0 <= 0 {
+						continue
+					}
+					rel0 = lo[0] - rep.Origin[0]
 				}
-				if sp != nil {
-					pts += boxVolume(lo[:], hi[:])
-				}
-				if useBlock {
-					s.B1(g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1], lo[0]+h, hi[0]+h)
-					blocks++
-				} else {
-					s.K1(g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1], lo[0]+h, hi[0]+h)
-					rows++
+				for bi := b0; bi < b1; bi++ {
+					b := &r.Blocks[bi]
+					var x0, w0 int
+					if uniform && interior&(1<<uint(bi-b0)) != 0 {
+						x0, w0 = b.Origin[0]+rel0, n0
+					} else {
+						if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
+							continue
+						}
+						x0, w0 = lo[0], hi[0]-lo[0]
+					}
+					if sp != nil {
+						pts += int64(w0)
+					}
+					if useBlock {
+						s.B1(dst, src, x0+h, x0+w0+h)
+						blocks++
+					} else {
+						s.K1(dst, src, x0+h, x0+w0+h)
+						rows++
+					}
 				}
 			}
 			sp.addPoints(wkr, pts)
@@ -71,30 +94,53 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
-		pool.ForSticky(len(r.Blocks), func(bi, wkr int) {
-			b := &r.Blocks[bi]
+		pool.ForSticky(r.Tasks(), func(gi, wkr int) {
+			b0, b1 := r.Span(gi)
 			var lo, hi [2]int
+			uniform, interior := cfg.groupPlan(&r, b0, b1, lo[:], hi[:])
 			var pts, rows, blocks int64
 			for t := r.T0; t < r.T1; t++ {
-				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
-					continue
-				}
-				if sp != nil {
-					pts += boxVolume(lo[:], hi[:])
-				}
 				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
-				n := hi[1] - lo[1]
-				base := g.Idx(lo[0], lo[1])
-				if useBlock {
-					s.B2(dst, src, base, hi[0]-lo[0], n, g.SY)
-					blocks++
-					continue
+				var rel0, rel1, n0, n1 int
+				if uniform {
+					// One bounds computation covers the whole group:
+					// every block's box is the same origin offset.
+					rep := &r.Blocks[b0]
+					cfg.Bounds(&r, rep, t, lo[:], hi[:])
+					n0, n1 = hi[0]-lo[0], hi[1]-lo[1]
+					if n0 <= 0 || n1 <= 0 {
+						continue
+					}
+					rel0, rel1 = lo[0]-rep.Origin[0], lo[1]-rep.Origin[1]
 				}
-				for x := lo[0]; x < hi[0]; x++ {
-					s.K2(dst, src, base, n, g.SY)
-					base += g.SY
+				for bi := b0; bi < b1; bi++ {
+					b := &r.Blocks[bi]
+					var x0, y0, w0, w1 int
+					if uniform && interior&(1<<uint(bi-b0)) != 0 {
+						x0, y0 = b.Origin[0]+rel0, b.Origin[1]+rel1
+						w0, w1 = n0, n1
+					} else {
+						if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
+							continue
+						}
+						x0, y0 = lo[0], lo[1]
+						w0, w1 = hi[0]-lo[0], hi[1]-lo[1]
+					}
+					if sp != nil {
+						pts += int64(w0) * int64(w1)
+					}
+					base := g.Idx(x0, y0)
+					if useBlock {
+						s.B2(dst, src, base, w0, w1, g.SY)
+						blocks++
+						continue
+					}
+					for x := 0; x < w0; x++ {
+						s.K2(dst, src, base, w1, g.SY)
+						base += g.SY
+					}
+					rows += int64(w0)
 				}
-				rows += int64(hi[0] - lo[0])
 			}
 			sp.addPoints(wkr, pts)
 			sp.addKernelCalls(wkr, rows, blocks)
@@ -122,34 +168,57 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
-		pool.ForSticky(len(r.Blocks), func(bi, wkr int) {
-			b := &r.Blocks[bi]
+		pool.ForSticky(r.Tasks(), func(gi, wkr int) {
+			b0, b1 := r.Span(gi)
 			var lo, hi [3]int
+			uniform, interior := cfg.groupPlan(&r, b0, b1, lo[:], hi[:])
 			var pts, rows, blocks int64
 			for t := r.T0; t < r.T1; t++ {
-				if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
-					continue
-				}
-				if sp != nil {
-					pts += boxVolume(lo[:], hi[:])
-				}
 				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
-				n := hi[2] - lo[2]
-				xBase := g.Idx(lo[0], lo[1], lo[2])
-				if useBlock {
-					s.B3(dst, src, xBase, hi[0]-lo[0], hi[1]-lo[1], n, g.SY, g.SX)
-					blocks++
-					continue
-				}
-				for x := lo[0]; x < hi[0]; x++ {
-					base := xBase
-					for y := lo[1]; y < hi[1]; y++ {
-						s.K3(dst, src, base, n, g.SY, g.SX)
-						base += g.SY
+				var rel0, rel1, rel2, n0, n1, n2 int
+				if uniform {
+					// One bounds computation covers the whole group:
+					// every block's box is the same origin offset.
+					rep := &r.Blocks[b0]
+					cfg.Bounds(&r, rep, t, lo[:], hi[:])
+					n0, n1, n2 = hi[0]-lo[0], hi[1]-lo[1], hi[2]-lo[2]
+					if n0 <= 0 || n1 <= 0 || n2 <= 0 {
+						continue
 					}
-					xBase += g.SX
+					rel0, rel1, rel2 = lo[0]-rep.Origin[0], lo[1]-rep.Origin[1], lo[2]-rep.Origin[2]
 				}
-				rows += int64(hi[0]-lo[0]) * int64(hi[1]-lo[1])
+				for bi := b0; bi < b1; bi++ {
+					b := &r.Blocks[bi]
+					var x0, y0, z0, w0, w1, w2 int
+					if uniform && interior&(1<<uint(bi-b0)) != 0 {
+						x0, y0, z0 = b.Origin[0]+rel0, b.Origin[1]+rel1, b.Origin[2]+rel2
+						w0, w1, w2 = n0, n1, n2
+					} else {
+						if !cfg.ClippedBounds(&r, b, t, lo[:], hi[:]) {
+							continue
+						}
+						x0, y0, z0 = lo[0], lo[1], lo[2]
+						w0, w1, w2 = hi[0]-lo[0], hi[1]-lo[1], hi[2]-lo[2]
+					}
+					if sp != nil {
+						pts += int64(w0) * int64(w1) * int64(w2)
+					}
+					xBase := g.Idx(x0, y0, z0)
+					if useBlock {
+						s.B3(dst, src, xBase, w0, w1, w2, g.SY, g.SX)
+						blocks++
+						continue
+					}
+					for x := 0; x < w0; x++ {
+						base := xBase
+						for y := 0; y < w1; y++ {
+							s.K3(dst, src, base, w2, g.SY, g.SX)
+							base += g.SY
+						}
+						xBase += g.SX
+					}
+					rows += int64(w0) * int64(w1)
+				}
 			}
 			sp.addPoints(wkr, pts)
 			sp.addKernelCalls(wkr, rows, blocks)
@@ -183,38 +252,44 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 	for ri, r := range cfg.Regions(steps) {
 		r := r
 		sp := beginRegion()
-		pool.ForSticky(len(r.Blocks), func(bi, wkr int) {
-			b := &r.Blocks[bi]
+		// Grouped dispatch only (no bounds hoisting): the generic
+		// executor stays the straightforward oracle the fast paths are
+		// tested against.
+		pool.ForSticky(r.Tasks(), func(gi, wkr int) {
+			b0, b1 := r.Span(gi)
 			lo := make([]int, d)
 			hi := make([]int, d)
 			p := make([]int, d)
 			var pts, rows int64
-			for t := r.T0; t < r.T1; t++ {
-				if !cfg.ClippedBounds(&r, b, t, lo, hi) {
-					continue
-				}
-				if sp != nil {
-					pts += boxVolume(lo, hi)
-				}
-				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
-				// The last dimension has unit stride, so hoist it out
-				// of the odometer: one ApplyRow per contiguous row
-				// instead of one Apply (and one g.Idx) per point.
-				n := hi[d-1] - lo[d-1]
-				copy(p, lo)
-				for {
-					gs.ApplyRow(dst, src, g.Idx(p), n, flat)
-					rows++
-					k := d - 2
-					for ; k >= 0; k-- {
-						p[k]++
-						if p[k] < hi[k] {
+			for bi := b0; bi < b1; bi++ {
+				b := &r.Blocks[bi]
+				for t := r.T0; t < r.T1; t++ {
+					if !cfg.ClippedBounds(&r, b, t, lo, hi) {
+						continue
+					}
+					if sp != nil {
+						pts += boxVolume(lo, hi)
+					}
+					dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
+					// The last dimension has unit stride, so hoist it out
+					// of the odometer: one ApplyRow per contiguous row
+					// instead of one Apply (and one g.Idx) per point.
+					n := hi[d-1] - lo[d-1]
+					copy(p, lo)
+					for {
+						gs.ApplyRow(dst, src, g.Idx(p), n, flat)
+						rows++
+						k := d - 2
+						for ; k >= 0; k-- {
+							p[k]++
+							if p[k] < hi[k] {
+								break
+							}
+							p[k] = lo[k]
+						}
+						if k < 0 {
 							break
 						}
-						p[k] = lo[k]
-					}
-					if k < 0 {
-						break
 					}
 				}
 			}

@@ -29,10 +29,20 @@ type Block struct {
 // BT), the window is [Ref-BT, Ref+BT), and at time t the block updates
 //
 //	[Origin_k + tau*S_k, Origin_k + Big_k - tau*S_k),  tau = |t+1-Ref|
+//
+// Stage is the region's stage index — the number of glued dimensions
+// of its blocks; diamond regions report 0, the slot of the B_0 blocks
+// they merge. Group is the dispatch coarsening factor the schedule
+// builder resolved from Config.Coarsen (§4.2 per stage): executors
+// schedule ceil(len(Blocks)/Group) work items of Group adjacent blocks
+// each instead of one item per block. Group never changes which boxes
+// are updated, only the scheduling grain.
 type Region struct {
 	T0, T1  int
 	Ref     int
 	Diamond bool
+	Stage   int
+	Group   int
 	Blocks  []Block
 }
 
@@ -197,13 +207,15 @@ func (c *Config) Regions(steps int) []Region {
 			mid := (w + 1) * c.BT
 			q := w + 1
 			t0, t1 := clampWindow(w*c.BT, (w+2)*c.BT, steps)
-			out = append(out, Region{T0: t0, T1: t1, Ref: mid, Diamond: true, Blocks: diamonds[q&1]})
+			out = append(out, Region{T0: t0, T1: t1, Ref: mid, Diamond: true,
+				Group: c.Coarsen.Factor(0), Blocks: diamonds[q&1]})
 			t0, t1 = clampWindow(q*c.BT, (q+1)*c.BT, steps)
 			if t0 >= t1 {
 				continue
 			}
 			for i := 1; i < d; i++ {
-				out = append(out, Region{T0: t0, T1: t1, Ref: q * c.BT, Blocks: stages[q&1][i-1]})
+				out = append(out, Region{T0: t0, T1: t1, Ref: q * c.BT, Stage: i,
+					Group: c.Coarsen.Factor(i), Blocks: stages[q&1][i-1]})
 			}
 		}
 		return out
@@ -221,7 +233,8 @@ func (c *Config) Regions(steps int) []Region {
 	for q := 0; q*c.BT < steps; q++ {
 		t0, t1 := clampWindow(q*c.BT, (q+1)*c.BT, steps)
 		for i := 0; i <= d; i++ {
-			out = append(out, Region{T0: t0, T1: t1, Ref: q * c.BT, Blocks: stages[q&1][i]})
+			out = append(out, Region{T0: t0, T1: t1, Ref: q * c.BT, Stage: i,
+				Group: c.Coarsen.Factor(i), Blocks: stages[q&1][i]})
 		}
 	}
 	return out

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -61,7 +62,14 @@ func (sp *regionSpan) end(cfg *Config, r *Region, index int) {
 	if r.Diamond {
 		kind = "diamond"
 	}
-	telemetry.StageDuration.Histogram(kind).Observe(time.Since(sp.start).Seconds())
+	dur := time.Since(sp.start).Seconds()
+	telemetry.StageDuration.Histogram(kind).Observe(dur)
+	if !r.Diamond {
+		// Per-stage child in addition to the "stage" aggregate; diamond
+		// regions already have a kind of their own.
+		telemetry.StageDuration.Histogram(stageKind(r.Stage)).Observe(dur)
+	}
+	telemetry.StageBlocks.Counter(regionKind(r)).Add(uint64(len(r.Blocks)))
 	telemetry.BlocksExecuted.Add(uint64(len(r.Blocks)))
 	telemetry.DefaultTracer.RecordSpan(telemetry.Event{
 		Name:   kind,
@@ -71,6 +79,27 @@ func (sp *regionSpan) end(cfg *Config, r *Region, index int) {
 		Blocks: int64(len(r.Blocks)),
 		Points: sp.points,
 	}, sp.start)
+}
+
+// stageLabels caches the per-stage kind labels for the dimensions the
+// executors support, so the hot path never formats strings.
+var stageLabels = [...]string{"stage0", "stage1", "stage2", "stage3", "stage4", "stage5", "stage6", "stage7", "stage8"}
+
+// stageKind returns the telemetry kind label of stage index i.
+func stageKind(i int) string {
+	if i >= 0 && i < len(stageLabels) {
+		return stageLabels[i]
+	}
+	return "stage" + strconv.Itoa(i)
+}
+
+// regionKind returns the telemetry kind label of a region: "diamond"
+// for merged regions, "stage<i>" otherwise.
+func regionKind(r *Region) string {
+	if r.Diamond {
+		return "diamond"
+	}
+	return stageKind(r.Stage)
 }
 
 // boxVolume returns the point count of the axis-aligned box [lo, hi).

@@ -82,13 +82,15 @@ func (c *Config) periodicRegions(steps int) []Region {
 		mid := (w + 1) * c.BT
 		q := w + 1
 		t0, t1 := clampWindow(w*c.BT, (w+2)*c.BT, steps)
-		out = append(out, Region{T0: t0, T1: t1, Ref: mid, Diamond: true, Blocks: diamonds[q&1]})
+		out = append(out, Region{T0: t0, T1: t1, Ref: mid, Diamond: true,
+			Group: c.Coarsen.Factor(0), Blocks: diamonds[q&1]})
 		t0, t1 = clampWindow(q*c.BT, (q+1)*c.BT, steps)
 		if t0 >= t1 {
 			continue
 		}
 		for i := 1; i < d; i++ {
-			out = append(out, Region{T0: t0, T1: t1, Ref: q * c.BT, Blocks: stages[q&1][i-1]})
+			out = append(out, Region{T0: t0, T1: t1, Ref: q * c.BT, Stage: i,
+				Group: c.Coarsen.Factor(i), Blocks: stages[q&1][i-1]})
 		}
 	}
 	return out
@@ -150,36 +152,75 @@ func RunNDPeriodic(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, 
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for _, r := range cfg.periodicRegions(steps) {
 		r := r
-		pool.ForSticky(len(r.Blocks), func(bi, _ int) {
-			b := &r.Blocks[bi]
+		pool.ForSticky(r.Tasks(), func(gi, _ int) {
+			b0, b1 := r.Span(gi)
 			lo := make([]int, d)
 			hi := make([]int, d)
 			p := make([]int, d)
 			q := make([]int, d)
 			nb := make([]int, d)
-			for t := r.T0; t < r.T1; t++ {
-				if !cfg.periodicBounds(&r, b, t, lo, hi) {
-					continue
-				}
-				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
-				// Interior fast path: when the box plus its stencil
-				// footprint lies entirely inside [0, N) in every
-				// dimension, no access wraps, so the per-neighbour
-				// modulo arithmetic is pure overhead. Use precomputed
-				// flat offsets and row-hoisted updates instead.
-				// ApplyRow accumulates in the same declaration order
-				// as the wrap loop below, so results are bitwise
-				// identical either way.
-				interior := fast
-				for k := 0; k < d && interior; k++ {
-					interior = lo[k]-gs.Slopes[k] >= 0 && hi[k]+gs.Slopes[k] <= g.Dims[k]
-				}
-				if interior {
-					n := hi[d-1] - lo[d-1]
+			for bi := b0; bi < b1; bi++ {
+				b := &r.Blocks[bi]
+				for t := r.T0; t < r.T1; t++ {
+					if !cfg.periodicBounds(&r, b, t, lo, hi) {
+						continue
+					}
+					dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
+					// Interior fast path: when the box plus its stencil
+					// footprint lies entirely inside [0, N) in every
+					// dimension, no access wraps, so the per-neighbour
+					// modulo arithmetic is pure overhead. Use precomputed
+					// flat offsets and row-hoisted updates instead.
+					// ApplyRow accumulates in the same declaration order
+					// as the wrap loop below, so results are bitwise
+					// identical either way.
+					interior := fast
+					for k := 0; k < d && interior; k++ {
+						interior = lo[k]-gs.Slopes[k] >= 0 && hi[k]+gs.Slopes[k] <= g.Dims[k]
+					}
+					if interior {
+						n := hi[d-1] - lo[d-1]
+						copy(p, lo)
+						for {
+							gs.ApplyRow(dst, src, g.Idx(p), n, flat)
+							k := d - 2
+							for ; k >= 0; k-- {
+								p[k]++
+								if p[k] < hi[k] {
+									break
+								}
+								p[k] = lo[k]
+							}
+							if k < 0 {
+								break
+							}
+						}
+						continue
+					}
 					copy(p, lo)
 					for {
-						gs.ApplyRow(dst, src, g.Idx(p), n, flat)
-						k := d - 2
+						// Wrap the point and gather neighbours mod N.
+						var acc float64
+						for n, off := range gs.Offsets {
+							for k := 0; k < d; k++ {
+								v := (p[k] + off[k]) % g.Dims[k]
+								if v < 0 {
+									v += g.Dims[k]
+								}
+								nb[k] = v
+							}
+							acc += gs.Coeffs[n] * src[g.Idx(nb)]
+						}
+						for k := 0; k < d; k++ {
+							v := p[k] % g.Dims[k]
+							if v < 0 {
+								v += g.Dims[k]
+							}
+							q[k] = v
+						}
+						dst[g.Idx(q)] = acc
+
+						k := d - 1
 						for ; k >= 0; k-- {
 							p[k]++
 							if p[k] < hi[k] {
@@ -190,42 +231,6 @@ func RunNDPeriodic(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, 
 						if k < 0 {
 							break
 						}
-					}
-					continue
-				}
-				copy(p, lo)
-				for {
-					// Wrap the point and gather neighbours mod N.
-					var acc float64
-					for n, off := range gs.Offsets {
-						for k := 0; k < d; k++ {
-							v := (p[k] + off[k]) % g.Dims[k]
-							if v < 0 {
-								v += g.Dims[k]
-							}
-							nb[k] = v
-						}
-						acc += gs.Coeffs[n] * src[g.Idx(nb)]
-					}
-					for k := 0; k < d; k++ {
-						v := p[k] % g.Dims[k]
-						if v < 0 {
-							v += g.Dims[k]
-						}
-						q[k] = v
-					}
-					dst[g.Idx(q)] = acc
-
-					k := d - 1
-					for ; k >= 0; k-- {
-						p[k]++
-						if p[k] < hi[k] {
-							break
-						}
-						p[k] = lo[k]
-					}
-					if k < 0 {
-						break
 					}
 				}
 			}

@@ -73,11 +73,21 @@ var (
 // internal/core — the tessellation executors.
 var (
 	// StageDuration has one histogram per region kind: "stage" for the
-	// expand/shrink stages, "diamond" for merged B_d+B_0 regions.
+	// expand/shrink stages as an aggregate, "diamond" for merged
+	// B_d+B_0 regions, plus one "stage<i>" child per stage index so
+	// per-stage grain is observable (the per-stage coarsening autotuner
+	// divides these by StageBlocks to equalize per-block cost).
 	StageDuration = Default.NewHistogramFamily(
 		"tess_stage_duration_seconds",
 		"Wall time of each tessellation parallel region, by region kind.",
 		DurationBuckets, "kind")
+	// StageBlocks counts blocks scheduled per region kind ("diamond",
+	// "stage0".."stage<d>"); together with the per-stage StageDuration
+	// children it yields mean wall time per block per stage.
+	StageBlocks = Default.NewCounter(
+		"tess_stage_blocks_total",
+		"Tessellation blocks scheduled, by region stage kind.",
+		"kind")
 	// BlocksExecuted counts blocks scheduled across all regions.
 	BlocksExecuted = Default.NewCounter(
 		"tess_blocks_executed_total",

@@ -170,7 +170,22 @@ type Options struct {
 	// supported by the tessellation's ND executor (RunND) when each
 	// domain extent is a multiple of the block lattice period.
 	Periodic bool
+	// CoarsenPerStage sets the tessellation's §4.2 dispatch coarsening
+	// factor per stage: entry i applies to stage-i regions (i = the
+	// number of glued dimensions; merged B_d+B_0 diamond regions use
+	// entry 0). A factor of c groups c adjacent blocks of a parallel
+	// region into one scheduled work item — results are bitwise
+	// identical for any legal vector, only the scheduling grain
+	// changes. A single entry applies to every stage; entries must lie
+	// in [1, MaxCoarsenFactor]. Empty means no coarsening. Only the
+	// tessellation scheme consults it; autotune.EqualizeCoarsening
+	// picks a vector that equalizes per-stage region grain.
+	CoarsenPerStage []int
 }
+
+// MaxCoarsenFactor is the largest legal per-stage coarsening factor
+// (core caps dispatch groups at 64 blocks).
+const MaxCoarsenFactor = core.MaxCoarsen
 
 // Engine owns a worker pool and executes runs. Create one per desired
 // thread count and reuse it; Close releases the workers.
@@ -415,9 +430,9 @@ type Retuner interface {
 	// between consultations. Values < 1 are treated as 1.
 	Phases() int
 	// Retune is called at a phase boundary. Returning (next, true)
-	// re-tiles the remaining steps with next's TimeTile/Block/NoMerge
-	// (the scheme cannot change mid-run); returning (_, false) keeps
-	// the current tiling.
+	// re-tiles the remaining steps with next's TimeTile/Block/NoMerge/
+	// CoarsenPerStage (the scheme cannot change mid-run); returning
+	// (_, false) keeps the current tiling.
 	Retune(b PhaseBoundary) (next Options, retile bool)
 }
 
@@ -486,9 +501,10 @@ func adaptiveHook(n []int, s *Stencil, steps int, rt Retuner) core.PhaseHook {
 			StepsDone:  done,
 			StepsTotal: steps,
 			Options: Options{
-				TimeTile: cur.BT,
-				Block:    append([]int(nil), cur.Big...),
-				NoMerge:  !cur.Merge,
+				TimeTile:        cur.BT,
+				Block:           append([]int(nil), cur.Big...),
+				NoMerge:         !cur.Merge,
+				CoarsenPerStage: append([]int(nil), cur.Coarsen.PerStage...),
 			},
 		}
 		next, retile := rt.Retune(b)
@@ -571,6 +587,9 @@ func tessConfigGeneric(n, slopes []int, opt Options) core.Config {
 		copy(cfg.Big, opt.Block)
 	}
 	cfg.Merge = !opt.NoMerge
+	if len(opt.CoarsenPerStage) > 0 {
+		cfg.Coarsen = core.Coarsening{PerStage: append([]int(nil), opt.CoarsenPerStage...)}
+	}
 	return cfg
 }
 
