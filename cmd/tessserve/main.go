@@ -1,0 +1,265 @@
+// Command tessserve runs the stencil-as-a-service engine server: a
+// long-lived multi-tenant HTTP/JSON front end over a pool of pre-built
+// tessellation engines partitioned across the machine (see DESIGN.md
+// §Serving architecture).
+//
+// Usage:
+//
+//	tessserve -addr :8080 -engines 4 -threads 4 -pin -sticky
+//	tessserve -smoke                 # self-contained end-to-end check
+//	tessserve -bench -json out.json  # load-generate against itself
+//
+// Endpoints: POST /v1/jobs, GET /v1/stats, GET /healthz, plus the
+// shared telemetry surface (/metrics, /trace, /debug/pprof/).
+// SIGTERM/SIGINT starts a graceful drain: queued jobs finish, new jobs
+// get 503, then the process exits.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tessellate/internal/bench"
+	"tessellate/internal/grid"
+	"tessellate/internal/naive"
+	"tessellate/internal/par"
+	"tessellate/internal/server"
+	"tessellate/internal/stencil"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address ('' = kernel-chosen port)")
+		engines  = flag.Int("engines", 0, "execution lanes (0 = min(4, NumCPU))")
+		threads  = flag.Int("threads", 0, "pool width per engine (0 = NumCPU/engines)")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4*engines)")
+		pin      = flag.Bool("pin", false, "pin engine workers to disjoint CPU slices")
+		sticky   = flag.Bool("sticky", false, "sticky block->worker scheduling per engine")
+		maxPts   = flag.Int("max-points", 0, "per-job grid point limit (0 = 1<<24)")
+		maxSteps = flag.Int("max-steps", 0, "per-job step limit (0 = 1<<20)")
+		drain    = flag.Duration("drain-timeout", 60*time.Second, "graceful drain limit on SIGTERM")
+
+		smoke = flag.Bool("smoke", false, "run the self-contained smoke check and exit")
+
+		doBench = flag.Int("bench", 0, "run this many load-generation scenarios against an in-process server and exit (0 = serve)")
+		jsonOut = flag.String("json", "", "write the -bench report here (default stdout)")
+		dur     = flag.Duration("duration", 2*time.Second, "-bench: window per scenario")
+		kernel  = flag.String("kernel", "heat-2d", "-bench: job kernel")
+		nFlag   = flag.String("n", "128,128", "-bench: job extents, comma separated")
+		steps   = flag.Int("steps", 16, "-bench: job steps")
+		conc    = flag.Int("concurrency", 4, "-bench: closed-loop clients")
+		rate    = flag.Float64("rate", 100, "-bench: open-loop arrival rate, jobs/s")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr:             *addr,
+		Engines:          *engines,
+		ThreadsPerEngine: *threads,
+		QueueDepth:       *queue,
+		Pin:              *pin,
+		Sticky:           *sticky,
+		MaxPoints:        *maxPts,
+		MaxSteps:         *maxSteps,
+	}
+
+	switch {
+	case *smoke:
+		if err := runSmoke(cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("smoke: ok")
+	case *doBench > 0:
+		if err := runBench(cfg, *doBench, *jsonOut, *dur, *kernel, *nFlag, *steps, *conc, *rate); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := serve(cfg, *drain); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tessserve:", err)
+	os.Exit(1)
+}
+
+// serve runs until SIGTERM/SIGINT, then drains gracefully.
+func serve(cfg server.Config, drainTimeout time.Duration) error {
+	s := server.New(cfg)
+	if err := s.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tessserve: serving on http://%s (%d engines x %d threads)\n",
+		s.Addr(), s.Engines(), cfg.ThreadsPerEngine)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "tessserve: %v, draining (limit %v)\n", got, drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		_ = s.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "tessserve: drained cleanly")
+	return s.Close()
+}
+
+// runSmoke is the CI end-to-end check: start a server on a
+// kernel-chosen port, submit a heat-2d job over real HTTP, verify the
+// checksum bitwise against the naive reference, confirm the job
+// counters reached /metrics, and shut down cleanly.
+func runSmoke(cfg server.Config) error {
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.Engines == 0 {
+		cfg.Engines = 2
+	}
+	if cfg.ThreadsPerEngine == 0 {
+		cfg.ThreadsPerEngine = 2
+	}
+	s := server.New(cfg)
+	if err := s.Start(); err != nil {
+		return err
+	}
+
+	const (
+		n     = 128
+		steps = 17
+		seed  = 42
+	)
+	body, _ := json.Marshal(server.JobRequest{
+		Tenant: "smoke", Kernel: "heat-2d", N: []int{n, n}, Steps: steps, Seed: seed,
+	})
+	resp, err := http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	var res server.JobResult
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode result: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("job status %d", resp.StatusCode)
+	}
+
+	// Reference: same seeding, naive executor, single thread.
+	ref := grid.NewGrid2D(n, n, 1, 1)
+	server.SeedGrid2D(ref, "heat-2d", seed, server.DefaultBoundary("heat-2d"))
+	pool := par.NewPool(1)
+	naive.Run2D(ref, stencil.Heat2D, steps, pool)
+	pool.Close()
+	want := server.Checksum2D(ref)
+	if res.Checksum != want {
+		return fmt.Errorf("checksum mismatch: served %v, naive reference %v", res.Checksum, want)
+	}
+	fmt.Printf("smoke: heat-2d %dx%d x%d steps, checksum %v matches naive reference (%.1f MLUP/s on engine %d)\n",
+		n, n, steps, res.Checksum, res.MLUPs, res.Engine)
+
+	mresp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape: %w", err)
+	}
+	var buf bytes.Buffer
+	_, err = buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("scrape read: %w", err)
+	}
+	for _, frag := range []string{
+		`tess_jobs_accepted_total{tenant="smoke"} 1`,
+		`tess_jobs_completed_total{tenant="smoke",status="ok"} 1`,
+	} {
+		if !strings.Contains(buf.String(), frag) {
+			return fmt.Errorf("/metrics missing %q", frag)
+		}
+	}
+	fmt.Println("smoke: /metrics exposes the job counters")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return s.Close()
+}
+
+// runBench starts an in-process server and runs scenarios scenarios of
+// closed- and open-loop load against it, writing a JSON report.
+func runBench(cfg server.Config, scenarios int, out string, dur time.Duration,
+	kernel, nFlag string, steps, conc int, rate float64) error {
+	var n []int
+	for _, f := range strings.Split(nFlag, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &v); err != nil {
+			return fmt.Errorf("bad -n %q: %w", nFlag, err)
+		}
+		n = append(n, v)
+	}
+	cfg.Addr = "127.0.0.1:0"
+	s := server.New(cfg)
+	if err := s.Start(); err != nil {
+		return err
+	}
+	defer s.Close()
+
+	type report struct {
+		Host    string             `json:"host"`
+		Engines int                `json:"engines"`
+		Threads int                `json:"threads_per_engine"`
+		Runs    []bench.LoadReport `json:"runs"`
+	}
+	rep := report{Engines: s.Engines(), Threads: cfg.ThreadsPerEngine}
+	rep.Host, _ = os.Hostname()
+
+	for i := 0; i < scenarios; i++ {
+		lc := bench.LoadConfig{
+			URL: "http://" + s.Addr(), Kernel: kernel, N: n, Steps: steps,
+			Tenant: "bench", Duration: dur, Seed: int64(i + 1),
+		}
+		if i%2 == 0 {
+			lc.Concurrency = conc
+		} else {
+			lc.OpenLoop = true
+			lc.RatePerSec = rate
+		}
+		r, err := bench.RunLoad(lc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench[%d] %s: %d jobs, %.1f jobs/s, %.1f MLUP/s, p50 %.1fms p99 %.1fms\n",
+			i, r.Mode, r.Completed, r.JobsPerSec, r.MLUPs, r.LatencyP50*1e3, r.LatencyP99*1e3)
+		rep.Runs = append(rep.Runs, *r)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Load generation against a live tessserve instance. Two arrival
+// models:
+//
+//   - closed loop: Concurrency clients each submit the next job the
+//     moment the previous response lands — measures saturated
+//     throughput (jobs/s, MLUP/s) at a fixed multiprogramming level.
+//   - open loop: jobs arrive on a Poisson process at RatePerSec
+//     regardless of completions (capped at MaxInFlight outstanding) —
+//     measures latency under a target offered load, including the
+//     server's load shedding (429s are counted, not retried).
+//
+// Both report client-observed latency percentiles, so queueing and
+// HTTP overhead are included — this is the number a tenant sees, not
+// the engine-side run time.
+
+// LoadConfig parameterises one load-generation run.
+type LoadConfig struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Kernel/N/Steps/Tenant describe the job every client submits.
+	Kernel string
+	N      []int
+	Steps  int
+	Tenant string
+	// Duration is the measurement window.
+	Duration time.Duration
+	// OpenLoop selects Poisson arrivals at RatePerSec; otherwise the
+	// run is a closed loop at Concurrency.
+	OpenLoop bool
+	// Concurrency is the closed-loop client count (default 4).
+	Concurrency int
+	// RatePerSec is the open-loop arrival rate (default 50).
+	RatePerSec float64
+	// MaxInFlight caps outstanding open-loop requests (default
+	// 4*Concurrency or 64, whichever is larger); arrivals beyond the
+	// cap are counted as dropped without touching the server.
+	MaxInFlight int
+	// Seed drives the arrival process and per-job seeds.
+	Seed int64
+}
+
+// LoadReport is the result of one load-generation run.
+type LoadReport struct {
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Kernel      string  `json:"kernel"`
+	N           []int   `json:"n"`
+	Steps       int     `json:"steps"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	Seconds     float64 `json:"seconds"`
+
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Rejected  int `json:"rejected"` // 429/503 load sheds
+	Dropped   int `json:"dropped"`  // open loop: arrivals over MaxInFlight
+	Errors    int `json:"errors"`
+
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// MLUPs is aggregate served throughput: updates of completed jobs
+	// per wall-clock second, in millions.
+	MLUPs float64 `json:"mlups"`
+
+	// Client-observed latency of completed jobs, seconds.
+	LatencyP50 float64 `json:"latency_p50"`
+	LatencyP90 float64 `json:"latency_p90"`
+	LatencyP99 float64 `json:"latency_p99"`
+	LatencyMax float64 `json:"latency_max"`
+}
+
+// loadResult is one request's outcome.
+type loadResult struct {
+	latency  float64
+	status   int
+	err      bool
+	checksum float64
+}
+
+func (c *LoadConfig) setDefaults() {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 50
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * c.Concurrency
+		if c.MaxInFlight < 64 {
+			c.MaxInFlight = 64
+		}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+}
+
+// RunLoad drives the server at cfg.URL for cfg.Duration and reports.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg.setDefaults()
+	body, err := json.Marshal(map[string]any{
+		"tenant": cfg.Tenant,
+		"kernel": cfg.Kernel,
+		"n":      cfg.N,
+		"steps":  cfg.Steps,
+		"seed":   cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Jobs admitted near the deadline still drain after it: allow a
+	// generous tail before a client gives up.
+	client := &http.Client{Timeout: cfg.Duration + 30*time.Second}
+	url := cfg.URL + "/v1/jobs"
+
+	var (
+		mu      sync.Mutex
+		results []loadResult
+		dropped atomic.Int64
+	)
+	post := func() {
+		t0 := time.Now()
+		r := loadResult{}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			r.err = true
+		} else {
+			r.status = resp.StatusCode
+			if resp.StatusCode == http.StatusOK {
+				var res struct {
+					Checksum float64 `json:"checksum"`
+				}
+				if json.NewDecoder(resp.Body).Decode(&res) == nil {
+					r.checksum = res.Checksum
+				}
+			} else {
+				_, _ = io.Copy(io.Discard, resp.Body)
+			}
+			resp.Body.Close()
+		}
+		r.latency = time.Since(t0).Seconds()
+		mu.Lock()
+		results = append(results, r)
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	if cfg.OpenLoop {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		inFlight := make(chan struct{}, cfg.MaxInFlight)
+		for time.Now().Before(deadline) {
+			// Exponential inter-arrival: Poisson process at RatePerSec.
+			wait := time.Duration(rng.ExpFloat64() / cfg.RatePerSec * float64(time.Second))
+			time.Sleep(wait)
+			if !time.Now().Before(deadline) {
+				break
+			}
+			select {
+			case inFlight <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-inFlight }()
+					post()
+				}()
+			default:
+				dropped.Add(1)
+			}
+		}
+	} else {
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					post()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := &LoadReport{
+		Kernel:  cfg.Kernel,
+		N:       cfg.N,
+		Steps:   cfg.Steps,
+		Seconds: elapsed,
+		Dropped: int(dropped.Load()),
+	}
+	if cfg.OpenLoop {
+		rep.Mode = "open"
+		rep.RatePerSec = cfg.RatePerSec
+	} else {
+		rep.Mode = "closed"
+		rep.Concurrency = cfg.Concurrency
+	}
+	points := int64(1)
+	for _, nk := range cfg.N {
+		points *= int64(nk)
+	}
+	var latencies []float64
+	var firstChecksum float64
+	for _, r := range results {
+		rep.Submitted++
+		switch {
+		case r.err:
+			rep.Errors++
+		case r.status == http.StatusOK:
+			rep.Completed++
+			latencies = append(latencies, r.latency)
+			if firstChecksum == 0 {
+				firstChecksum = r.checksum
+			} else if r.checksum != firstChecksum {
+				return nil, fmt.Errorf("non-deterministic serving: checksum %v != %v",
+					r.checksum, firstChecksum)
+			}
+		case r.status == http.StatusTooManyRequests || r.status == http.StatusServiceUnavailable:
+			rep.Rejected++
+		default:
+			rep.Errors++
+		}
+	}
+	if elapsed > 0 {
+		rep.JobsPerSec = float64(rep.Completed) / elapsed
+		rep.MLUPs = float64(int64(rep.Completed)*points*int64(cfg.Steps)) / elapsed / 1e6
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		rep.LatencyP50 = quantile(latencies, 0.50)
+		rep.LatencyP90 = quantile(latencies, 0.90)
+		rep.LatencyP99 = quantile(latencies, 0.99)
+		rep.LatencyMax = latencies[len(latencies)-1]
+	}
+	return rep, nil
+}
+
+// quantile reads the q-th quantile from an ascending-sorted sample
+// (nearest-rank with linear interpolation).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tessellate/internal/server"
+)
+
+func loadServer(t *testing.T) *server.Server {
+	t.Helper()
+	s := server.New(server.Config{Engines: 2, ThreadsPerEngine: 1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		_ = s.Close()
+	})
+	return s
+}
+
+func TestRunLoadClosedLoop(t *testing.T) {
+	s := loadServer(t)
+	rep, err := RunLoad(LoadConfig{
+		URL: "http://" + s.Addr(), Kernel: "heat-2d", N: []int{64, 64}, Steps: 8,
+		Duration: 300 * time.Millisecond, Concurrency: 3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed" || rep.Concurrency != 3 {
+		t.Fatalf("report mode/concurrency wrong: %+v", rep)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("closed loop completed no jobs: %+v", rep)
+	}
+	if rep.JobsPerSec <= 0 || rep.MLUPs <= 0 {
+		t.Fatalf("throughput not reported: %+v", rep)
+	}
+	if rep.LatencyP50 <= 0 || rep.LatencyP99 < rep.LatencyP50 || rep.LatencyMax < rep.LatencyP99 {
+		t.Fatalf("latency percentiles inconsistent: %+v", rep)
+	}
+}
+
+func TestRunLoadOpenLoop(t *testing.T) {
+	s := loadServer(t)
+	rep, err := RunLoad(LoadConfig{
+		URL: "http://" + s.Addr(), Kernel: "heat-1d", N: []int{512}, Steps: 4,
+		Duration: 300 * time.Millisecond, OpenLoop: true, RatePerSec: 200, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" || rep.RatePerSec != 200 {
+		t.Fatalf("report mode/rate wrong: %+v", rep)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("open loop completed no jobs: %+v", rep)
+	}
+	// Conservation: every submission is accounted for exactly once.
+	if rep.Completed+rep.Rejected+rep.Errors != rep.Submitted {
+		t.Fatalf("outcome counts don't sum: %+v", rep)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 0.5: 3, 1: 5, 0.25: 2}
+	for q, want := range cases {
+		if got := quantile(sorted, q); got != want {
+			t.Fatalf("quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if got := quantile([]float64{7}, 0.99); got != 7 {
+		t.Fatalf("single-sample quantile = %v", got)
+	}
+}

@@ -20,10 +20,31 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.N}, s.Slopes); err != nil {
 		return err
 	}
+	return run1D(g, s, steps, cfg, cfg.Regions(steps), pool)
+}
+
+// RunScheduled1D is Run1D replaying a precomputed Schedule: no region
+// list is rebuilt, so a steady-state caller re-running one shape does
+// no schedule work at all. Results are bitwise identical to Run1D with
+// the schedule's config and step count.
+func RunScheduled1D(g *grid.Grid1D, s *stencil.Spec, sched *Schedule, pool *par.Pool) error {
+	if s.Dims != 1 || s.K1 == nil {
+		return fmt.Errorf("core: %s is not a 1D kernel", s.Name)
+	}
+	if g.H < s.Slopes[0] {
+		return fmt.Errorf("core: grid halo %d < slope %d", g.H, s.Slopes[0])
+	}
+	if err := checkSchedule(sched, []int{g.N}, s.Slopes); err != nil {
+		return err
+	}
+	return run1D(g, s, sched.steps, &sched.cfg, sched.regions, pool)
+}
+
+func run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool) error {
 	h := g.H
 	useBlock := s.B1 != nil && BlockKernelsEnabled()
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
-	for ri, r := range cfg.Regions(steps) {
+	for ri, r := range regions {
 		r := r
 		sp := beginRegion()
 		pool.ForSticky(r.Tasks(), func(gi, wkr int) {
@@ -89,9 +110,28 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.NX, g.NY}, s.Slopes); err != nil {
 		return err
 	}
+	return run2D(g, s, steps, cfg, cfg.Regions(steps), pool)
+}
+
+// RunScheduled2D is Run2D replaying a precomputed Schedule (see
+// RunScheduled1D).
+func RunScheduled2D(g *grid.Grid2D, s *stencil.Spec, sched *Schedule, pool *par.Pool) error {
+	if s.Dims != 2 || s.K2 == nil {
+		return fmt.Errorf("core: %s is not a 2D kernel", s.Name)
+	}
+	if g.HX < s.Slopes[0] || g.HY < s.Slopes[1] {
+		return fmt.Errorf("core: grid halo (%d,%d) < slopes %v", g.HX, g.HY, s.Slopes)
+	}
+	if err := checkSchedule(sched, []int{g.NX, g.NY}, s.Slopes); err != nil {
+		return err
+	}
+	return run2D(g, s, sched.steps, &sched.cfg, sched.regions, pool)
+}
+
+func run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool) error {
 	useBlock := s.B2 != nil && BlockKernelsEnabled()
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
-	for ri, r := range cfg.Regions(steps) {
+	for ri, r := range regions {
 		r := r
 		sp := beginRegion()
 		pool.ForSticky(r.Tasks(), func(gi, wkr int) {
@@ -163,9 +203,28 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.NX, g.NY, g.NZ}, s.Slopes); err != nil {
 		return err
 	}
+	return run3D(g, s, steps, cfg, cfg.Regions(steps), pool)
+}
+
+// RunScheduled3D is Run3D replaying a precomputed Schedule (see
+// RunScheduled1D).
+func RunScheduled3D(g *grid.Grid3D, s *stencil.Spec, sched *Schedule, pool *par.Pool) error {
+	if s.Dims != 3 || s.K3 == nil {
+		return fmt.Errorf("core: %s is not a 3D kernel", s.Name)
+	}
+	if g.HX < s.Slopes[0] || g.HY < s.Slopes[1] || g.HZ < s.Slopes[2] {
+		return fmt.Errorf("core: grid halo (%d,%d,%d) < slopes %v", g.HX, g.HY, g.HZ, s.Slopes)
+	}
+	if err := checkSchedule(sched, []int{g.NX, g.NY, g.NZ}, s.Slopes); err != nil {
+		return err
+	}
+	return run3D(g, s, sched.steps, &sched.cfg, sched.regions, pool)
+}
+
+func run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool) error {
 	useBlock := s.B3 != nil && BlockKernelsEnabled()
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
-	for ri, r := range cfg.Regions(steps) {
+	for ri, r := range regions {
 		r := r
 		sp := beginRegion()
 		pool.ForSticky(r.Tasks(), func(gi, wkr int) {
@@ -246,10 +305,31 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 	if err := checkConfig(cfg, g.Dims, gs.Slopes); err != nil {
 		return err
 	}
+	return runND(g, gs, steps, cfg, cfg.Regions(steps), pool)
+}
+
+// RunScheduledND is RunND replaying a precomputed Schedule (see
+// RunScheduled1D).
+func RunScheduledND(g *grid.NDGrid, gs *stencil.Generic, sched *Schedule, pool *par.Pool) error {
+	if gs.Dims != g.D() {
+		return fmt.Errorf("core: stencil dims %d != grid dims %d", gs.Dims, g.D())
+	}
+	for k := 0; k < g.D(); k++ {
+		if g.Halo[k] < gs.Slopes[k] {
+			return fmt.Errorf("core: grid halo %v < slopes %v", g.Halo, gs.Slopes)
+		}
+	}
+	if err := checkSchedule(sched, g.Dims, gs.Slopes); err != nil {
+		return err
+	}
+	return runND(g, gs, sched.steps, &sched.cfg, sched.regions, pool)
+}
+
+func runND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, regions []Region, pool *par.Pool) error {
 	flat := gs.FlatOffsets(g.Strides)
 	d := g.D()
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
-	for ri, r := range cfg.Regions(steps) {
+	for ri, r := range regions {
 		r := r
 		sp := beginRegion()
 		// Grouped dispatch only (no bounds hoisting): the generic
@@ -299,6 +379,27 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 		sp.end(cfg, &r, ri)
 	}
 	g.Step += steps
+	return nil
+}
+
+// checkSchedule verifies that a precomputed schedule exists and was
+// built for the given grid shape and stencil slopes. The schedule's
+// config was validated at construction, so only the match checks run.
+func checkSchedule(sched *Schedule, n, slopes []int) error {
+	if sched == nil {
+		return fmt.Errorf("core: nil schedule")
+	}
+	if len(sched.cfg.N) != len(n) {
+		return fmt.Errorf("core: schedule rank %d != grid rank %d", len(sched.cfg.N), len(n))
+	}
+	for k := range n {
+		if sched.cfg.N[k] != n[k] {
+			return fmt.Errorf("core: schedule N %v != grid extents %v", sched.cfg.N, n)
+		}
+		if sched.cfg.Slopes[k] != slopes[k] {
+			return fmt.Errorf("core: schedule slopes %v != stencil slopes %v", sched.cfg.Slopes, slopes)
+		}
+	}
 	return nil
 }
 

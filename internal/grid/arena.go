@@ -1,0 +1,166 @@
+package grid
+
+import (
+	"sync"
+
+	"tessellate/internal/telemetry"
+)
+
+// Arena is a pool of grid buffers for steady-state serving: checking a
+// grid out of a warm arena reuses buffers instead of allocating, so a
+// server re-running the same grid shape millions of times does zero
+// large allocations after warmup. Buffers are pooled by flat length —
+// the only property that matters for reuse — so one arena serves any
+// mix of shapes. Fresh buffers are first-touched under the arena's
+// ParallelFor (the same worker mapping the owning engine computes
+// with), so on NUMA machines each worker's share of a pooled grid
+// stays on that worker's memory node across jobs.
+//
+// Checked-out grids have undefined contents (stale values from the
+// previous job); callers must fully initialise the interior (Fill) and
+// halo (SetBoundary) before running. Step is reset to 0 at checkout.
+//
+// An Arena is safe for concurrent use.
+type Arena struct {
+	mu   sync.Mutex
+	pfor ParallelFor
+	free map[int][][]float64
+	// maxPerLen bounds each per-length free list so a burst of odd
+	// shapes cannot pin unbounded memory.
+	maxPerLen int
+
+	hits, misses uint64
+}
+
+// DefaultArenaDepth is the per-length free-list bound of a
+// zero-configured arena: enough for a few grids of one shape in
+// flight per engine, small enough that retired shapes cost little.
+const DefaultArenaDepth = 8
+
+// NewArena returns an empty arena whose fresh buffers are
+// first-touched under pfor (nil = plain allocation). maxPerLen bounds
+// each per-length free list (<= 0 selects DefaultArenaDepth).
+func NewArena(pfor ParallelFor, maxPerLen int) *Arena {
+	if maxPerLen <= 0 {
+		maxPerLen = DefaultArenaDepth
+	}
+	return &Arena{pfor: pfor, free: make(map[int][][]float64), maxPerLen: maxPerLen}
+}
+
+// buffer returns a pooled buffer of exactly the given length, or
+// allocates a fresh one.
+func (a *Arena) buffer(length int) []float64 {
+	a.mu.Lock()
+	list := a.free[length]
+	if n := len(list); n > 0 {
+		buf := list[n-1]
+		a.free[length] = list[:n-1]
+		a.hits++
+		a.mu.Unlock()
+		telemetry.ArenaHit.Inc()
+		return buf
+	}
+	a.misses++
+	a.mu.Unlock()
+	telemetry.ArenaMiss.Inc()
+	return AllocParallel(length, a.pfor)
+}
+
+// put returns a buffer to the pool, dropping it if the per-length list
+// is full.
+func (a *Arena) put(buf []float64) {
+	if buf == nil {
+		return
+	}
+	a.mu.Lock()
+	if len(a.free[len(buf)]) < a.maxPerLen {
+		a.free[len(buf)] = append(a.free[len(buf)], buf)
+	}
+	a.mu.Unlock()
+}
+
+// Grid1D checks out a 1D grid of the given shape. Contents are
+// undefined; Step is 0.
+func (a *Arena) Grid1D(n, h int) *Grid1D {
+	if n <= 0 || h < 0 {
+		panic("grid: invalid Grid1D size")
+	}
+	g := &Grid1D{N: n, H: h}
+	total := n + 2*h
+	g.Buf[0] = a.buffer(total)
+	g.Buf[1] = a.buffer(total)
+	return g
+}
+
+// Grid2D checks out a 2D grid of the given shape. Contents are
+// undefined; Step is 0.
+func (a *Arena) Grid2D(nx, ny, hx, hy int) *Grid2D {
+	if nx <= 0 || ny <= 0 || hx < 0 || hy < 0 {
+		panic("grid: invalid Grid2D size")
+	}
+	g := &Grid2D{NX: nx, NY: ny, HX: hx, HY: hy, SY: ny + 2*hy}
+	total := (nx + 2*hx) * g.SY
+	g.Buf[0] = a.buffer(total)
+	g.Buf[1] = a.buffer(total)
+	return g
+}
+
+// Grid3D checks out a 3D grid of the given shape. Contents are
+// undefined; Step is 0.
+func (a *Arena) Grid3D(nx, ny, nz, hx, hy, hz int) *Grid3D {
+	if nx <= 0 || ny <= 0 || nz <= 0 || hx < 0 || hy < 0 || hz < 0 {
+		panic("grid: invalid Grid3D size")
+	}
+	g := &Grid3D{NX: nx, NY: ny, NZ: nz, HX: hx, HY: hy, HZ: hz}
+	g.SY = nz + 2*hz
+	g.SX = (ny + 2*hy) * g.SY
+	total := (nx + 2*hx) * g.SX
+	g.Buf[0] = a.buffer(total)
+	g.Buf[1] = a.buffer(total)
+	return g
+}
+
+// Release returns a grid's buffers to the arena. The grid must not be
+// used afterwards. Any of the three concrete grid types is accepted;
+// other values (including nil) are ignored.
+func (a *Arena) Release(g any) {
+	switch g := g.(type) {
+	case *Grid1D:
+		if g != nil {
+			a.put(g.Buf[0])
+			a.put(g.Buf[1])
+			g.Buf[0], g.Buf[1] = nil, nil
+		}
+	case *Grid2D:
+		if g != nil {
+			a.put(g.Buf[0])
+			a.put(g.Buf[1])
+			g.Buf[0], g.Buf[1] = nil, nil
+		}
+	case *Grid3D:
+		if g != nil {
+			a.put(g.Buf[0])
+			a.put(g.Buf[1])
+			g.Buf[0], g.Buf[1] = nil, nil
+		}
+	}
+}
+
+// Stats returns the lifetime checkout hit and miss counts (one
+// checkout = one buffer, so a double-buffered grid costs two).
+func (a *Arena) Stats() (hits, misses uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hits, a.misses
+}
+
+// Pooled returns the number of buffers currently parked in the arena.
+func (a *Arena) Pooled() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, list := range a.free {
+		n += len(list)
+	}
+	return n
+}

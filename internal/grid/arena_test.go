@@ -1,0 +1,103 @@
+package grid
+
+import "testing"
+
+// sameBacking reports whether two slices share a backing array.
+func sameBacking(a, b []float64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+func TestArenaReusesBuffers(t *testing.T) {
+	a := NewArena(nil, 0)
+	g1 := a.Grid2D(16, 16, 1, 1)
+	b0, b1 := g1.Buf[0], g1.Buf[1]
+	if h, m := a.Stats(); h != 0 || m != 2 {
+		t.Fatalf("fresh checkout: hits=%d misses=%d, want 0/2", h, m)
+	}
+	a.Release(g1)
+	if g1.Buf[0] != nil || g1.Buf[1] != nil {
+		t.Fatal("released grid kept its buffers")
+	}
+	if got := a.Pooled(); got != 2 {
+		t.Fatalf("pooled %d buffers after release, want 2", got)
+	}
+
+	g2 := a.Grid2D(16, 16, 1, 1)
+	if !sameBacking(g2.Buf[0], b1) && !sameBacking(g2.Buf[0], b0) {
+		t.Fatal("second checkout did not reuse a released buffer")
+	}
+	if h, m := a.Stats(); h != 2 || m != 2 {
+		t.Fatalf("warm checkout: hits=%d misses=%d, want 2/2", h, m)
+	}
+	if g2.Step != 0 {
+		t.Fatalf("checked-out grid has Step=%d, want 0", g2.Step)
+	}
+}
+
+// Different shapes with the same flat length share one free list;
+// different lengths do not mix.
+func TestArenaPoolsByLength(t *testing.T) {
+	a := NewArena(nil, 0)
+	g := a.Grid2D(16, 16, 1, 1) // (16+2)*(16+2) = 324 per buffer
+	buf := g.Buf[0]
+	a.Release(g)
+
+	// 324 = 18*18: a transposed-halo shape with the same flat length
+	// reuses the same buffers.
+	g2 := a.Grid1D(322, 1) // 322+2 = 324
+	if !sameBacking(g2.Buf[0], buf) && !sameBacking(g2.Buf[1], buf) {
+		t.Fatal("same-length checkout did not reuse the pooled buffer")
+	}
+	a.Release(g2)
+
+	g3 := a.Grid2D(32, 32, 1, 1)
+	if sameBacking(g3.Buf[0], buf) || sameBacking(g3.Buf[1], buf) {
+		t.Fatal("different-length checkout reused a wrong-size buffer")
+	}
+}
+
+func TestArenaBoundsFreeList(t *testing.T) {
+	a := NewArena(nil, 3)
+	grids := make([]*Grid1D, 5)
+	for i := range grids {
+		grids[i] = a.Grid1D(64, 1)
+	}
+	for _, g := range grids {
+		a.Release(g)
+	}
+	if got := a.Pooled(); got != 3 {
+		t.Fatalf("pooled %d buffers with maxPerLen=3, want 3", got)
+	}
+}
+
+// A parallel-for wired into the arena is used to first-touch fresh
+// buffers (only for lengths above the parallel-alloc threshold).
+func TestArenaFirstTouchesThroughParallelFor(t *testing.T) {
+	calls := 0
+	pfor := func(n int, body func(i, worker int)) {
+		calls++
+		for i := 0; i < n; i++ {
+			body(i, 0)
+		}
+	}
+	a := NewArena(pfor, 0)
+	big := a.Grid1D(minParallelAlloc, 0)
+	if calls != 2 {
+		t.Fatalf("parallel first-touch ran %d times for a fresh large grid, want 2", calls)
+	}
+	a.Release(big)
+	_ = a.Grid1D(minParallelAlloc, 0)
+	if calls != 2 {
+		t.Fatalf("warm checkout re-touched buffers (%d calls)", calls)
+	}
+}
+
+func TestArenaReleaseIgnoresForeignValues(t *testing.T) {
+	a := NewArena(nil, 0)
+	a.Release(nil)
+	a.Release(42)
+	a.Release((*Grid2D)(nil))
+	if got := a.Pooled(); got != 0 {
+		t.Fatalf("foreign releases pooled %d buffers", got)
+	}
+}

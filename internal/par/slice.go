@@ -1,0 +1,36 @@
+package par
+
+// Topology slicing for multi-engine processes. A serving process runs
+// several engines side by side, each with its own pool; pinning every
+// pool to the full allowed set would let the kernel migrate any worker
+// anywhere and stack engines on the same cores. PartitionCPUs cuts the
+// allowed set into disjoint contiguous slices of the NUMA-interleaved
+// order — the same order a single pool pins in — so each engine owns a
+// private share of the machine that spans all memory controllers.
+
+// PartitionCPUs partitions the calling thread's allowed CPU set into
+// parts disjoint, jointly exhaustive slices, in NUMA-interleaved order
+// (see numaInterleaved). Slice i is intended as PoolOptions.CPUs for
+// engine i. When parts exceeds the number of allowed CPUs, the excess
+// slices are empty (their engines run unpinned on the shared set).
+// On platforms without affinity support it returns (nil, err) and
+// callers degrade to unsliced, unpinned engines.
+func PartitionCPUs(parts int) ([][]int, error) {
+	if parts < 1 {
+		parts = 1
+	}
+	allowed, err := allowedCPUs()
+	if err != nil {
+		return nil, err
+	}
+	cpus := numaInterleaved(allowed)
+	out := make([][]int, parts)
+	n := len(cpus)
+	for i := 0; i < parts; i++ {
+		lo, hi := i*n/parts, (i+1)*n/parts
+		if lo < hi {
+			out[i] = append([]int(nil), cpus[lo:hi]...)
+		}
+	}
+	return out, nil
+}

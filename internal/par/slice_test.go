@@ -1,0 +1,54 @@
+package par
+
+import "testing"
+
+// PartitionCPUs must return disjoint slices that jointly cover the
+// allowed set, for any part count.
+func TestPartitionCPUsDisjointCover(t *testing.T) {
+	if !AffinitySupported() {
+		t.Skip("affinity unsupported on this platform")
+	}
+	allowed, err := allowedCPUs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 2, 3, len(allowed), len(allowed) + 3} {
+		slices, err := PartitionCPUs(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(slices) != parts {
+			t.Fatalf("parts=%d: got %d slices", parts, len(slices))
+		}
+		seen := map[int]int{}
+		total := 0
+		for i, s := range slices {
+			for _, c := range s {
+				if prev, dup := seen[c]; dup {
+					t.Fatalf("parts=%d: cpu %d in slices %d and %d", parts, c, prev, i)
+				}
+				seen[c] = i
+				total++
+			}
+		}
+		if total != len(allowed) {
+			t.Fatalf("parts=%d: slices cover %d cpus, allowed set has %d", parts, total, len(allowed))
+		}
+		// More parts than CPUs: the excess slices are empty, never nil
+		// mid-list with CPUs after them... just check each allowed CPU
+		// appears exactly once (done above) and empty slices are legal.
+	}
+}
+
+func TestPartitionCPUsClampsParts(t *testing.T) {
+	if !AffinitySupported() {
+		t.Skip("affinity unsupported on this platform")
+	}
+	slices, err := PartitionCPUs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) != 1 || len(slices[0]) == 0 {
+		t.Fatalf("parts=0 should clamp to one full slice, got %v", slices)
+	}
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// submit pushes one job through the queue/engine path (no HTTP layer,
+// which buffers and encodes per request by design) and waits for it.
+func submit(t testing.TB, s *Server, req JobRequest) *JobResult {
+	t.Helper()
+	spec, gen, err := s.resolve(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &job{
+		req:      req,
+		id:       s.nextID.Add(1),
+		tenant:   sanitizeTenant(req.Tenant),
+		spec:     spec,
+		gen:      gen,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	if err := s.enqueue(j); err != nil {
+		t.Fatal(err)
+	}
+	<-j.done
+	if j.err != nil {
+		t.Fatal(j.err)
+	}
+	return &j.res
+}
+
+// The serving hot path must be allocation-free for warm shapes: after
+// one warm-up job, a repeated 128x128 job checks its grid out of the
+// engine arena (zero large-buffer allocations) and replays the cached
+// schedule (zero schedule recomputations). The residual per-job
+// allocations — job struct, done channel, config slices, cache-key
+// string — are a few hundred bytes against a 270 KB working set.
+func TestRepeatedJobAllocatesNoLargeBuffers(t *testing.T) {
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1})
+	defer s.Close()
+	req := JobRequest{Kernel: "heat-2d", N: []int{128, 128}, Steps: 8, Seed: 5}
+
+	warm := submit(t, s, req)
+
+	_, schedMiss0 := s.sched.Stats()
+	_, arenaMiss0 := s.engines[0].arena.Stats()
+
+	const runs = 20
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < runs; i++ {
+		res := submit(t, s, req)
+		if res.Checksum != warm.Checksum {
+			t.Fatalf("run %d checksum %v != warm %v", i, res.Checksum, warm.Checksum)
+		}
+	}
+	runtime.ReadMemStats(&m1)
+
+	// A single grid buffer is (128+2)^2 * 8 B = 135 KB and each job
+	// needs two; staying under 16 KB/job proves no grid was allocated.
+	bytesPerJob := (m1.TotalAlloc - m0.TotalAlloc) / runs
+	if bytesPerJob > 16<<10 {
+		t.Fatalf("warm job allocates %d B/run; the hot path is supposed to reuse arena buffers", bytesPerJob)
+	}
+	allocsPerJob := (m1.Mallocs - m0.Mallocs) / runs
+	if allocsPerJob > 64 {
+		t.Fatalf("warm job performs %d allocations/run, want <= 64", allocsPerJob)
+	}
+
+	if _, miss := s.sched.Stats(); miss != schedMiss0 {
+		t.Fatalf("warm jobs recomputed %d schedules", miss-schedMiss0)
+	}
+	if _, miss := s.engines[0].arena.Stats(); miss != arenaMiss0 {
+		t.Fatalf("warm jobs allocated %d fresh grid buffers", miss-arenaMiss0)
+	}
+}
+
+// testing.AllocsPerRun cross-check on the same path: the count must be
+// small and stable. The bound is deliberately loose (engine-side
+// allocations land on another goroutine but still count globally).
+func TestRepeatedJobAllocsPerRun(t *testing.T) {
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1})
+	defer s.Close()
+	req := JobRequest{Kernel: "heat-2d", N: []int{128, 128}, Steps: 8, Seed: 5}
+	submit(t, s, req)
+
+	avg := testing.AllocsPerRun(10, func() {
+		submit(t, s, req)
+	})
+	if avg > 64 {
+		t.Fatalf("AllocsPerRun = %v, want <= 64", avg)
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitGoroutines waits for the goroutine count to drop back to the
+// baseline (worker and HTTP teardown are asynchronous).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d running, baseline was %d", runtime.NumGoroutine(), base)
+}
+
+// Shutdown must (a) run every job admitted before the drain began and
+// deliver its HTTP response, (b) refuse new jobs with 503, and (c)
+// tear down every goroutine the server started.
+func TestShutdownDrainsQueueAndLeaksNothing(t *testing.T) {
+	http.DefaultClient.CloseIdleConnections()
+	base := runtime.NumGoroutine()
+
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1, QueueDepth: 8})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Admit several slow-ish jobs; their responses must all arrive
+	// even though Shutdown starts while most are still queued.
+	const jobs = 4
+	req := JobRequest{Kernel: "heat-2d", N: []int{128, 128}, Steps: 300}
+	body, _ := json.Marshal(&req)
+	statuses := make([]int, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var res JobResult
+			if resp.StatusCode == http.StatusOK {
+				if err := json.NewDecoder(resp.Body).Decode(&res); err == nil && res.Checksum != 0 {
+					statuses[i] = resp.StatusCode
+				}
+			}
+		}(i)
+	}
+
+	// Wait until all jobs are admitted before starting the drain.
+	for deadline := time.Now().Add(5 * time.Second); s.accepted.Load() < jobs; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d jobs admitted", s.accepted.Load(), jobs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// A job arriving mid-drain must be refused with 503 (the listener
+	// stays up until the queue is drained, so the refusal is explicit,
+	// not a connection error). The drain flag flips before the queue
+	// closes, so poll for it first.
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err == nil {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("mid-drain job got status %d, want 503", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	for i, code := range statuses {
+		if code != http.StatusOK {
+			t.Fatalf("job %d admitted before drain did not complete (status %d)", i, code)
+		}
+	}
+	if got := s.completed.Load(); got < jobs {
+		t.Fatalf("completed %d jobs, want >= %d", got, jobs)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	waitGoroutines(t, base)
+}
+
+// Close without Start (no listener) must still stop the engines.
+func TestCloseWithoutStart(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := New(Config{Engines: 2, ThreadsPerEngine: 2})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base)
+}
+
+// A second Shutdown must be a harmless no-op, and healthz must report
+// draining once the first begins.
+func TestShutdownIdempotent(t *testing.T) {
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy server returned %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	_ = s.Close()
+}

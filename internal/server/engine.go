@@ -1,0 +1,49 @@
+package server
+
+import (
+	"tessellate/internal/grid"
+	"tessellate/internal/par"
+)
+
+// engine is one execution lane of the server: a pre-built worker pool
+// pinned to its slice of the machine plus a grid-buffer arena whose
+// fresh pages are first-touched by that same pool, so every engine's
+// working set lives on its own NUMA slice. Engines are built once at
+// server start and reused for every job — none of the PR-3 topology
+// setup (thread spawn, pinning, first-touch) happens on the serving
+// path.
+type engine struct {
+	id    int
+	pool  *par.Pool
+	arena *grid.Arena
+}
+
+// buildEngines constructs cfg.Engines engines. With Pin set and
+// affinity available, the allowed CPU set is partitioned into
+// contiguous per-engine slices so engines never contend for cores;
+// otherwise the engines share the scheduler's placement.
+func buildEngines(cfg *Config) []*engine {
+	var slices [][]int
+	if cfg.Pin && par.AffinitySupported() {
+		if s, err := par.PartitionCPUs(cfg.Engines); err == nil {
+			slices = s
+		}
+	}
+	engines := make([]*engine, cfg.Engines)
+	for i := range engines {
+		opts := par.PoolOptions{Pin: cfg.Pin, Sticky: cfg.Sticky}
+		if slices != nil {
+			opts.CPUs = slices[i]
+		}
+		pool := par.NewPoolOpts(cfg.ThreadsPerEngine, opts)
+		engines[i] = &engine{
+			id:    i,
+			pool:  pool,
+			arena: grid.NewArena(pool.ForSticky, cfg.ArenaDepth),
+		}
+	}
+	return engines
+}
+
+// close tears the engine down (idempotent per pool contract).
+func (e *engine) close() { e.pool.Close() }

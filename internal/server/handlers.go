@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tessellate/internal/grid"
+	"tessellate/internal/telemetry"
+)
+
+// errorBody is the JSON body of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// maxBodyBytes bounds a job request body; real requests are a few
+// hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// mux wires the server's own endpoints in front of the shared
+// telemetry handler (/metrics, /trace, /debug/pprof/).
+func (s *Server) mux() *http.ServeMux {
+	mux := telemetry.Handler()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsBody is the /v1/stats response.
+type statsBody struct {
+	Engines          int    `json:"engines"`
+	ThreadsPerEngine int    `json:"threads_per_engine"`
+	QueueDepth       int    `json:"queue_depth"`
+	QueueCap         int    `json:"queue_cap"`
+	Draining         bool   `json:"draining"`
+	Accepted         uint64 `json:"jobs_accepted"`
+	Rejected         uint64 `json:"jobs_rejected"`
+	Completed        uint64 `json:"jobs_completed"`
+	SchedCacheLen    int    `json:"sched_cache_len"`
+	SchedCacheHits   uint64 `json:"sched_cache_hits"`
+	SchedCacheMisses uint64 `json:"sched_cache_misses"`
+	ArenaHits        uint64 `json:"arena_hits"`
+	ArenaMisses      uint64 `json:"arena_misses"`
+	ArenaPooled      int    `json:"arena_pooled"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	b := statsBody{
+		Engines:          len(s.engines),
+		ThreadsPerEngine: s.cfg.ThreadsPerEngine,
+		QueueDepth:       len(s.queue),
+		QueueCap:         cap(s.queue),
+		Draining:         s.draining.Load(),
+		Accepted:         s.accepted.Load(),
+		Rejected:         s.rejected.Load(),
+		Completed:        s.completed.Load(),
+		SchedCacheLen:    s.sched.Len(),
+	}
+	b.SchedCacheHits, b.SchedCacheMisses = s.sched.Stats()
+	for _, e := range s.engines {
+		h, m := e.arena.Stats()
+		b.ArenaHits += h
+		b.ArenaMisses += m
+		b.ArenaPooled += e.arena.Pooled()
+	}
+	writeJSON(w, http.StatusOK, b)
+}
+
+// handleJobs admits, waits for and reports one job.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.rejected.Add(1)
+		s.tenantMetrics(sanitizeTenant(req.Tenant)).rejInvalid.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	tenant := sanitizeTenant(req.Tenant)
+	tm := s.tenantMetrics(tenant)
+
+	spec, gen, err := s.resolve(&req)
+	if err != nil {
+		s.rejected.Add(1)
+		tm.rejInvalid.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	j := &job{
+		req:      req,
+		id:       s.nextID.Add(1),
+		tenant:   tenant,
+		spec:     spec,
+		gen:      gen,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	switch err := s.enqueue(j); err {
+	case nil:
+	case errDraining:
+		s.rejected.Add(1)
+		tm.rejDraining.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	default: // errQueueFull
+		s.rejected.Add(1)
+		tm.rejQueueFull.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	}
+	s.accepted.Add(1)
+	tm.accepted.Inc()
+
+	stream := req.Stream || req.Values
+	var enc *json.Encoder
+	if stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc = json.NewEncoder(w)
+		_ = enc.Encode(map[string]any{
+			"event": "queued", "job_id": "j-" + strconv.FormatUint(j.id, 10),
+			"queue_depth": len(s.queue),
+		})
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+
+	// The job is queued: an engine will run it even if the client goes
+	// away, so only wait on done (bounded by the queue drain).
+	<-j.done
+	if j.release != nil {
+		defer j.release()
+	}
+	if j.err != nil {
+		if stream {
+			_ = enc.Encode(map[string]any{"event": "error", "error": j.err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: j.err.Error()})
+		return
+	}
+	if !stream {
+		writeJSON(w, http.StatusOK, &j.res)
+		return
+	}
+	_ = enc.Encode(map[string]any{"event": "result", "result": &j.res})
+	if j.req.Values && j.grid != nil {
+		writeValues(enc, j.grid)
+	}
+}
+
+// writeValues streams the final grid one x-row per NDJSON event
+// (rank <= 2, enforced at admission).
+func writeValues(enc *json.Encoder, g any) {
+	switch t := g.(type) {
+	case *grid.Grid1D:
+		row := make([]float64, t.N)
+		for x := 0; x < t.N; x++ {
+			row[x] = t.At(x)
+		}
+		_ = enc.Encode(map[string]any{"event": "values", "x": 0, "row": row})
+	case *grid.Grid2D:
+		row := make([]float64, t.NY)
+		for x := 0; x < t.NX; x++ {
+			for y := 0; y < t.NY; y++ {
+				row[y] = t.At(x, y)
+			}
+			_ = enc.Encode(map[string]any{"event": "values", "x": x, "row": row})
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package server implements stencil-as-a-service: a long-lived,
+// multi-tenant HTTP/JSON engine server ("tessserve") that accepts
+// simulation jobs and runs them on a pool of pre-built tessellation
+// engines partitioned over the machine topology.
+//
+// The serving hot path is allocation-free for repeated shapes: grid
+// buffers are checked out of per-engine arenas (grid.Arena) and
+// tessellation schedules come from a shared precomputed-schedule cache
+// (core.ScheduleCache), so a steady-state job allocates no large
+// buffers and recomputes no schedule. Admission is controlled by a
+// bounded queue: when it is full the server sheds load with 429 and a
+// Retry-After estimate instead of queueing without bound. See
+// DESIGN.md §Serving architecture.
+package server
+
+import (
+	"tessellate/internal/grid"
+)
+
+// Deterministic seeding. Jobs are seeded point-by-point from a
+// splitmix64 stream in fixed x-major iteration order, so a reference
+// run (e.g. internal/naive in the smoke test) seeded with the same
+// (kernel, seed) reproduces the input bitwise — without math/rand,
+// whose generator state would be the only per-job heap allocation
+// above a few words on the serving path.
+
+// splitmix64 advances the seeding stream; the returned state is the
+// next seed, the value is derived from it.
+func splitmix64(state uint64) (next uint64, value uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// unit maps a splitmix64 value to [0, 1).
+func unit(v uint64) float64 { return float64(v>>11) / (1 << 53) }
+
+// lifeKernel is the one built-in kernel seeded with 0/1 cell states
+// and a dead (0) boundary instead of uniform noise and a hot boundary.
+const lifeKernel = "game-of-life"
+
+// seedValue converts one stream value to a cell value for the kernel.
+func seedValue(kernel string, v uint64) float64 {
+	if kernel == lifeKernel {
+		return float64(v >> 63)
+	}
+	return unit(v)
+}
+
+// DefaultBoundary returns the boundary value a kernel is served with
+// unless the job overrides it: 0 for game-of-life (dead cells), 1 for
+// the heat-style kernels (hot wall), matching the bench harness.
+func DefaultBoundary(kernel string) float64 {
+	if kernel == lifeKernel {
+		return 0
+	}
+	return 1
+}
+
+// SeedGrid1D deterministically initialises every interior point (from
+// the splitmix64 stream of seed) and halo cell (boundary) of both
+// buffers, and resets Step. It fully overwrites the grid, so arena
+// grids with stale contents come out identical to fresh ones.
+func SeedGrid1D(g *grid.Grid1D, kernel string, seed int64, boundary float64) {
+	st := uint64(seed)
+	var v uint64
+	for x := 0; x < g.N; x++ {
+		st, v = splitmix64(st)
+		g.Set(x, seedValue(kernel, v))
+	}
+	g.SetBoundary(boundary)
+	g.Step = 0
+}
+
+// SeedGrid2D is SeedGrid1D for 2D grids (x-major order).
+func SeedGrid2D(g *grid.Grid2D, kernel string, seed int64, boundary float64) {
+	st := uint64(seed)
+	var v uint64
+	for x := 0; x < g.NX; x++ {
+		for y := 0; y < g.NY; y++ {
+			st, v = splitmix64(st)
+			g.Set(x, y, seedValue(kernel, v))
+		}
+	}
+	g.SetBoundary(boundary)
+	g.Step = 0
+}
+
+// SeedGrid3D is SeedGrid1D for 3D grids (x-major order).
+func SeedGrid3D(g *grid.Grid3D, kernel string, seed int64, boundary float64) {
+	st := uint64(seed)
+	var v uint64
+	for x := 0; x < g.NX; x++ {
+		for y := 0; y < g.NY; y++ {
+			for z := 0; z < g.NZ; z++ {
+				st, v = splitmix64(st)
+				g.Set(x, y, z, seedValue(kernel, v))
+			}
+		}
+	}
+	g.SetBoundary(boundary)
+	g.Step = 0
+}
+
+// SeedGridND is SeedGrid1D for n-dimensional grids (odometer order,
+// last dimension fastest). The halo is seeded by walking the full
+// padded box; NDGrid has no SetBoundary.
+func SeedGridND(g *grid.NDGrid, kernel string, seed int64, boundary float64) {
+	d := g.D()
+	c := make([]int, d)
+	for k := range c {
+		c[k] = -g.Halo[k]
+	}
+	st := uint64(seed)
+	var v uint64
+	for {
+		if g.Interior(c) {
+			st, v = splitmix64(st)
+			g.Set(c, seedValue(kernel, v))
+		} else {
+			g.Set(c, boundary)
+		}
+		k := d - 1
+		for ; k >= 0; k-- {
+			c[k]++
+			if c[k] < g.Dims[k]+g.Halo[k] {
+				break
+			}
+			c[k] = -g.Halo[k]
+		}
+		if k < 0 {
+			break
+		}
+	}
+	g.Step = 0
+}
+
+// Checksums: fixed-order interior sums, matching the bench harness's
+// convention so server results are directly comparable to offline
+// measurements and to reference runs.
+
+// Checksum1D digests a 1D grid's current buffer.
+func Checksum1D(g *grid.Grid1D) float64 {
+	s := 0.0
+	for x := 0; x < g.N; x++ {
+		s += g.At(x)
+	}
+	return s
+}
+
+// Checksum2D digests a 2D grid's current buffer.
+func Checksum2D(g *grid.Grid2D) float64 {
+	s := 0.0
+	for x := 0; x < g.NX; x++ {
+		for y := 0; y < g.NY; y++ {
+			s += g.At(x, y)
+		}
+	}
+	return s
+}
+
+// Checksum3D digests a 3D grid's current buffer.
+func Checksum3D(g *grid.Grid3D) float64 {
+	s := 0.0
+	for x := 0; x < g.NX; x++ {
+		for y := 0; y < g.NY; y++ {
+			for z := 0; z < g.NZ; z++ {
+				s += g.At(x, y, z)
+			}
+		}
+	}
+	return s
+}
+
+// ChecksumND digests an n-dimensional grid's current buffer.
+func ChecksumND(g *grid.NDGrid) float64 {
+	d := g.D()
+	c := make([]int, d)
+	s := 0.0
+	for {
+		s += g.At(c)
+		k := d - 1
+		for ; k >= 0; k-- {
+			c[k]++
+			if c[k] < g.Dims[k] {
+				break
+			}
+			c[k] = 0
+		}
+		if k < 0 {
+			return s
+		}
+	}
+}

@@ -1,0 +1,462 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tessellate/internal/core"
+	"tessellate/internal/grid"
+	"tessellate/internal/telemetry"
+)
+
+// Config sizes the server. The zero value serves: every field has a
+// machine-derived default.
+type Config struct {
+	// Addr is the listen address ("" = 127.0.0.1:0, port chosen by
+	// the kernel and readable from Addr() — the test/smoke default).
+	Addr string
+	// Engines is the number of execution lanes (0 = min(4, NumCPU)).
+	Engines int
+	// ThreadsPerEngine is each lane's pool width
+	// (0 = NumCPU/Engines, at least 1).
+	ThreadsPerEngine int
+	// QueueDepth bounds the admission queue (0 = 4*Engines). A full
+	// queue sheds load with 429 + Retry-After instead of buffering
+	// without bound.
+	QueueDepth int
+	// Pin pins engine workers to disjoint CPU slices (PartitionCPUs).
+	Pin bool
+	// Sticky enables sticky block->worker scheduling in each pool.
+	Sticky bool
+	// MaxPoints bounds prod(n) per job (0 = 1<<24).
+	MaxPoints int
+	// MaxSteps bounds steps per job (0 = 1<<20).
+	MaxSteps int
+	// MaxDims bounds the rank of generic jobs (0 = 8).
+	MaxDims int
+	// ScheduleCacheSize bounds the shared schedule cache
+	// (0 = core.DefaultScheduleCacheSize).
+	ScheduleCacheSize int
+	// ArenaDepth bounds each engine arena's per-length free list
+	// (0 = grid.DefaultArenaDepth).
+	ArenaDepth int
+}
+
+func (c *Config) setDefaults() {
+	if c.Engines <= 0 {
+		c.Engines = min(4, runtime.NumCPU())
+	}
+	if c.ThreadsPerEngine <= 0 {
+		c.ThreadsPerEngine = max(1, runtime.NumCPU()/c.Engines)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Engines
+	}
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = 1 << 24
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 1 << 20
+	}
+	if c.MaxDims <= 0 {
+		c.MaxDims = 8
+	}
+	if c.ScheduleCacheSize <= 0 {
+		c.ScheduleCacheSize = core.DefaultScheduleCacheSize
+	}
+	if c.ArenaDepth <= 0 {
+		c.ArenaDepth = grid.DefaultArenaDepth
+	}
+}
+
+// tenantMetrics caches one tenant's metric children so the hot path
+// never pays the label-join map lookup of Family.Counter.
+type tenantMetrics struct {
+	accepted     *telemetry.Counter
+	rejQueueFull *telemetry.Counter
+	rejDraining  *telemetry.Counter
+	rejInvalid   *telemetry.Counter
+	completedOK  *telemetry.Counter
+	completedErr *telemetry.Counter
+	duration     *telemetry.Histogram
+}
+
+// Server is the multi-tenant engine server. One Server owns its
+// engines, queue and HTTP listener; construct with New, run with
+// Start, stop with Shutdown (graceful drain) or Close (immediate).
+type Server struct {
+	cfg     Config
+	sched   *core.ScheduleCache
+	engines []*engine
+	queue   chan *job
+
+	// enqMu + draining close the shutdown race: enqueue sends under
+	// RLock after checking draining; Shutdown sets draining, takes the
+	// write lock, and only then closes the queue — so no send can hit
+	// a closed channel.
+	enqMu    sync.RWMutex
+	draining atomic.Bool
+
+	engineWG sync.WaitGroup
+	nextID   atomic.Uint64
+
+	// ewmaRun is the exponentially-weighted mean job run time in
+	// seconds (float64 bits), feeding the Retry-After estimate.
+	ewmaRun atomic.Uint64
+
+	// accepted/rejected/completed mirror the tess_jobs_* counters for
+	// the /v1/stats endpoint (which must work even when telemetry
+	// metrics are disabled).
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	completed atomic.Uint64
+
+	tmu     sync.RWMutex
+	tenants map[string]*tenantMetrics
+
+	ln net.Listener
+	hs *http.Server
+}
+
+// New builds a server: engines (pools pinned + arenas wired), queue
+// and schedule cache, but no listener yet. It enables the telemetry
+// subsystem: a server without /metrics is flying blind, and the gate
+// exists for offline library use, not serving.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	telemetry.Enable()
+	s := &Server{
+		cfg:     cfg,
+		sched:   core.NewScheduleCache(cfg.ScheduleCacheSize),
+		queue:   make(chan *job, cfg.QueueDepth),
+		tenants: make(map[string]*tenantMetrics),
+	}
+	s.engines = buildEngines(&s.cfg)
+	for _, e := range s.engines {
+		s.engineWG.Add(1)
+		go s.engineLoop(e)
+	}
+	return s
+}
+
+// Start listens on cfg.Addr and serves HTTP until Shutdown/Close.
+func (s *Server) Start() error {
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.mux()}
+	go func() {
+		if err := s.hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve only fails this way on a broken listener; the
+			// engines keep draining and Shutdown still completes.
+			_ = err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Engines returns the number of execution lanes.
+func (s *Server) Engines() int { return len(s.engines) }
+
+// ScheduleCache exposes the shared schedule cache (for tests/stats).
+func (s *Server) ScheduleCache() *core.ScheduleCache { return s.sched }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// errDraining and errQueueFull classify enqueue refusals.
+var (
+	errDraining  = errors.New("server is draining")
+	errQueueFull = errors.New("job queue is full")
+)
+
+// enqueue admits a job or refuses with errDraining/errQueueFull.
+func (s *Server) enqueue(j *job) error {
+	s.enqMu.RLock()
+	defer s.enqMu.RUnlock()
+	if s.draining.Load() {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		telemetry.JobsQueueDepth.AddUngated(1)
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// retryAfter estimates (in whole seconds, clamped to [1, 60]) how long
+// until the queue has room: the smoothed job run time times the work
+// ahead of a new arrival, divided across the engines.
+func (s *Server) retryAfter() int {
+	ewma := math.Float64frombits(s.ewmaRun.Load())
+	if ewma <= 0 {
+		ewma = 0.1
+	}
+	sec := ewma * float64(len(s.queue)+1) / float64(len(s.engines))
+	n := int(math.Ceil(sec))
+	if n < 1 {
+		n = 1
+	}
+	if n > 60 {
+		n = 60
+	}
+	return n
+}
+
+// observeRun folds one job's run time into the EWMA (alpha 0.2).
+func (s *Server) observeRun(sec float64) {
+	for {
+		old := s.ewmaRun.Load()
+		prev := math.Float64frombits(old)
+		next := sec
+		if prev > 0 {
+			next = 0.8*prev + 0.2*sec
+		}
+		if s.ewmaRun.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// engineLoop drains the queue until it is closed. Because every
+// engine loops `for range queue`, jobs admitted before Shutdown closed
+// the queue are all executed — the graceful-drain guarantee.
+func (s *Server) engineLoop(e *engine) {
+	defer s.engineWG.Done()
+	for j := range s.queue {
+		s.execute(e, j)
+	}
+}
+
+// execute runs one job on one engine and publishes the result.
+func (s *Server) execute(e *engine, j *job) {
+	pickup := time.Now()
+	telemetry.JobsQueueDepth.AddUngated(-1)
+	qwait := pickup.Sub(j.enqueued)
+	telemetry.JobQueueSeconds.Observe(qwait.Seconds())
+	telemetry.DefaultTracer.RecordSpan(telemetry.Event{
+		Name: "queue", Cat: "serve", TID: e.id, Phase: -1, Stage: -1,
+	}, j.enqueued)
+	telemetry.ServeEnginesBusy.AddUngated(1)
+	defer telemetry.ServeEnginesBusy.AddUngated(-1)
+
+	err := s.run(e, j)
+
+	runSec := time.Since(pickup).Seconds()
+	telemetry.DefaultTracer.RecordSpan(telemetry.Event{
+		Name: "job:" + j.req.Kernel, Cat: "serve", TID: e.id,
+		Phase: -1, Stage: -1, Points: j.res.Updates,
+	}, pickup)
+	tm := s.tenantMetrics(j.tenant)
+	s.completed.Add(1)
+	if err != nil {
+		tm.completedErr.Inc()
+		j.err = err
+	} else {
+		tm.completedOK.Inc()
+		tm.duration.Observe(runSec)
+		s.observeRun(runSec)
+		j.res.QueueSeconds = qwait.Seconds()
+		j.res.RunSeconds = runSec
+		j.res.Engine = e.id
+		if runSec > 0 {
+			j.res.MLUPs = float64(j.res.Updates) / runSec / 1e6
+		}
+	}
+	close(j.done)
+}
+
+// run seeds, executes and digests one job on engine e. The built-in
+// (Spec) ranks check grids out of the engine arena and replay cached
+// schedules, so a warm shape performs no large allocation and no
+// schedule construction; the generic ND path allocates its grid (it is
+// the flexibility path, not the serving hot path).
+func (s *Server) run(e *engine, j *job) error {
+	req := &j.req
+	bd := j.boundary()
+	points := int64(1)
+	for _, nk := range req.N {
+		points *= int64(nk)
+	}
+	j.res = JobResult{
+		JobID:   "j-" + strconv.FormatUint(j.id, 10),
+		Tenant:  j.tenant,
+		Kernel:  req.Kernel,
+		N:       req.N,
+		Steps:   req.Steps,
+		Updates: points * int64(req.Steps),
+	}
+
+	if j.spec != nil {
+		cfg := jobConfig(req.N, j.spec.Slopes, &req.Options)
+		sched, err := s.sched.Get(&cfg, req.Steps)
+		if err != nil {
+			return err
+		}
+		switch j.spec.Dims {
+		case 1:
+			g := e.arena.Grid1D(req.N[0], j.spec.Slopes[0])
+			SeedGrid1D(g, req.Kernel, req.Seed, bd)
+			if err := core.RunScheduled1D(g, j.spec, sched, e.pool); err != nil {
+				e.arena.Release(g)
+				return err
+			}
+			j.res.Checksum = Checksum1D(g)
+			s.finishGrid(e, j, g)
+		case 2:
+			g := e.arena.Grid2D(req.N[0], req.N[1], j.spec.Slopes[0], j.spec.Slopes[1])
+			SeedGrid2D(g, req.Kernel, req.Seed, bd)
+			if err := core.RunScheduled2D(g, j.spec, sched, e.pool); err != nil {
+				e.arena.Release(g)
+				return err
+			}
+			j.res.Checksum = Checksum2D(g)
+			s.finishGrid(e, j, g)
+		case 3:
+			g := e.arena.Grid3D(req.N[0], req.N[1], req.N[2],
+				j.spec.Slopes[0], j.spec.Slopes[1], j.spec.Slopes[2])
+			SeedGrid3D(g, req.Kernel, req.Seed, bd)
+			if err := core.RunScheduled3D(g, j.spec, sched, e.pool); err != nil {
+				e.arena.Release(g)
+				return err
+			}
+			j.res.Checksum = Checksum3D(g)
+			s.finishGrid(e, j, g)
+		}
+		return nil
+	}
+
+	cfg := jobConfig(req.N, j.gen.Slopes, &req.Options)
+	sched, err := s.sched.Get(&cfg, req.Steps)
+	if err != nil {
+		return err
+	}
+	g := grid.NewNDGrid(req.N, j.gen.Slopes)
+	SeedGridND(g, req.Kernel, req.Seed, bd)
+	if err := core.RunScheduledND(g, j.gen, sched, e.pool); err != nil {
+		return err
+	}
+	j.res.Checksum = ChecksumND(g)
+	if req.Values {
+		j.grid = g
+		j.release = func() {}
+	}
+	return nil
+}
+
+// finishGrid either returns the grid to the arena or, when the job
+// requested values, hands it to the handler with a release hook.
+func (s *Server) finishGrid(e *engine, j *job, g any) {
+	if j.req.Values {
+		j.grid = g
+		j.release = func() { e.arena.Release(g) }
+		return
+	}
+	e.arena.Release(g)
+}
+
+// tenantMetrics returns (building once) the cached metric children for
+// a sanitized tenant label.
+func (s *Server) tenantMetrics(tenant string) *tenantMetrics {
+	s.tmu.RLock()
+	tm := s.tenants[tenant]
+	s.tmu.RUnlock()
+	if tm != nil {
+		return tm
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if tm = s.tenants[tenant]; tm != nil {
+		return tm
+	}
+	tm = &tenantMetrics{
+		accepted:     telemetry.JobsAccepted.Counter(tenant),
+		rejQueueFull: telemetry.JobsRejected.Counter(tenant, "queue_full"),
+		rejDraining:  telemetry.JobsRejected.Counter(tenant, "draining"),
+		rejInvalid:   telemetry.JobsRejected.Counter(tenant, "invalid"),
+		completedOK:  telemetry.JobsCompleted.Counter(tenant, "ok"),
+		completedErr: telemetry.JobsCompleted.Counter(tenant, "error"),
+		duration:     telemetry.JobDurationSeconds.Histogram(tenant),
+	}
+	s.tenants[tenant] = tm
+	return tm
+}
+
+// Shutdown drains gracefully: new jobs are refused (503), queued jobs
+// run to completion, in-flight HTTP responses are delivered, then the
+// listener and engine pools are torn down. It returns ctx.Err() if the
+// drain outlives the context (engines keep draining regardless).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil // second Shutdown: already draining
+	}
+	// After draining is set, take the write lock so every in-flight
+	// enqueue (holding RLock) has finished; only then is closing the
+	// queue safe.
+	s.enqMu.Lock()
+	close(s.queue)
+	s.enqMu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.engineWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if s.hs != nil {
+		if err := s.hs.Shutdown(ctx); err != nil {
+			return err
+		}
+	}
+	for _, e := range s.engines {
+		e.close()
+	}
+	return nil
+}
+
+// Close tears the server down without waiting for queued jobs' HTTP
+// responses: it force-closes the listener, then drains like Shutdown
+// (engines still finish queued work so no goroutine leaks).
+func (s *Server) Close() error {
+	if s.hs != nil {
+		_ = s.hs.Close()
+	}
+	if !s.draining.Swap(true) {
+		s.enqMu.Lock()
+		close(s.queue)
+		s.enqMu.Unlock()
+	}
+	s.engineWG.Wait()
+	for _, e := range s.engines {
+		e.close()
+	}
+	return nil
+}

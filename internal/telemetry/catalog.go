@@ -114,6 +114,79 @@ var (
 	KernelCallsBlock = KernelCallsFamily.ShardedCounter("block")
 )
 
+// internal/core + internal/grid — steady-state reuse caches. Serving
+// workloads re-run one (spec, N, BT, Big, coarsening) shape millions
+// of times; these counters prove the hot path recomputes no schedule
+// and allocates no grid buffer after warmup.
+var (
+	// SchedCacheFamily counts schedule-cache lookups by result; a
+	// steady-state miss rate above zero means schedules are being
+	// rebuilt on the serving path.
+	SchedCacheFamily = Default.NewCounter(
+		"tess_sched_cache_lookups_total",
+		"Precomputed-schedule cache lookups, by result.",
+		"result")
+	// SchedCacheHit / SchedCacheMiss are the cached per-result
+	// children of SchedCacheFamily.
+	SchedCacheHit  = SchedCacheFamily.Counter("hit")
+	SchedCacheMiss = SchedCacheFamily.Counter("miss")
+	// ArenaCheckoutFamily counts grid-buffer arena checkouts by result
+	// ("hit" = buffer reused, "miss" = fresh allocation).
+	ArenaCheckoutFamily = Default.NewCounter(
+		"tess_arena_checkouts_total",
+		"Grid-buffer arena checkouts, by result (hit = reused buffer).",
+		"result")
+	// ArenaHit / ArenaMiss are the cached per-result children of
+	// ArenaCheckoutFamily.
+	ArenaHit  = ArenaCheckoutFamily.Counter("hit")
+	ArenaMiss = ArenaCheckoutFamily.Counter("miss")
+)
+
+// internal/server — the multi-tenant engine server (tessserve).
+var (
+	// JobsAccepted counts jobs admitted to the queue, by tenant.
+	JobsAccepted = Default.NewCounter(
+		"tess_jobs_accepted_total",
+		"Simulation jobs admitted to the tessserve queue, by tenant.",
+		"tenant")
+	// JobsRejected counts jobs refused admission, by tenant and reason
+	// ("queue_full", "draining", "invalid", "too_large").
+	JobsRejected = Default.NewCounter(
+		"tess_jobs_rejected_total",
+		"Simulation jobs refused admission, by tenant and reason.",
+		"tenant", "reason")
+	// JobsCompleted counts finished jobs, by tenant and status
+	// ("ok" or "error").
+	JobsCompleted = Default.NewCounter(
+		"tess_jobs_completed_total",
+		"Simulation jobs finished, by tenant and status.",
+		"tenant", "status")
+	// JobsQueueDepth is the number of jobs waiting in the bounded
+	// queue (admitted, not yet picked up by an engine). Both halves of
+	// the pairing bypass the enable gate so the gauge cannot drift if
+	// telemetry is toggled mid-job.
+	JobsQueueDepth = Default.NewGauge(
+		"tess_jobs_queue_depth",
+		"Jobs waiting in the tessserve admission queue.").Gauge()
+	// JobDurationSeconds is the execution wall time of each job
+	// (engine pickup to completion), by tenant.
+	JobDurationSeconds = Default.NewHistogramFamily(
+		"tess_jobs_duration_seconds",
+		"Execution wall time of each tessserve job, by tenant.",
+		DurationBuckets, "tenant")
+	// JobQueueSeconds is the time each job waited in the queue before
+	// an engine picked it up.
+	JobQueueSeconds = Default.NewHistogramFamily(
+		"tess_jobs_queue_seconds",
+		"Queue wait of each tessserve job, admission to engine pickup.",
+		DurationBuckets).Histogram()
+	// ServeEnginesBusy is the number of engines currently executing a
+	// job; paired updates bypass the enable gate like JobsQueueDepth.
+	ServeEnginesBusy = Default.NewGauge(
+		"tess_serve_engines_busy",
+		"tessserve engines currently executing a job.").Gauge()
+)
+
 // internal/dist — distributed-memory exchange.
 var (
 	// DistBytes counts exchanged payload bytes by direction and peer.
