@@ -46,6 +46,7 @@ func main() {
 		sticky   = flag.Bool("sticky", false, "sticky block->worker scheduling per engine")
 		maxPts   = flag.Int("max-points", 0, "per-job grid point limit (0 = 1<<24)")
 		maxSteps = flag.Int("max-steps", 0, "per-job step limit (0 = 1<<20)")
+		arenaMax = flag.Int64("arena-max-bytes", 0, "per-engine arena pooled-memory limit (0 = 1 GiB)")
 		drain    = flag.Duration("drain-timeout", 60*time.Second, "graceful drain limit on SIGTERM")
 
 		smoke = flag.Bool("smoke", false, "run the self-contained smoke check and exit")
@@ -70,6 +71,7 @@ func main() {
 		Sticky:           *sticky,
 		MaxPoints:        *maxPts,
 		MaxSteps:         *maxSteps,
+		ArenaMaxBytes:    *arenaMax,
 	}
 
 	switch {

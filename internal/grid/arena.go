@@ -28,6 +28,12 @@ type Arena struct {
 	// maxPerLen bounds each per-length free list so a burst of odd
 	// shapes cannot pin unbounded memory.
 	maxPerLen int
+	// maxBytes bounds the total pooled memory across all lengths:
+	// maxPerLen alone would let a tenant cycling through many distinct
+	// near-limit shapes park maxPerLen large buffers per length.
+	// totalBytes tracks the pooled sum under mu.
+	maxBytes   int64
+	totalBytes int64
 
 	hits, misses uint64
 }
@@ -37,14 +43,23 @@ type Arena struct {
 // flight per engine, small enough that retired shapes cost little.
 const DefaultArenaDepth = 8
 
+// DefaultArenaMaxBytes is the total pooled-memory bound of a
+// zero-configured arena: room for a steady-state mix of a few large
+// shapes, small enough that one arena cannot pin a machine's memory.
+const DefaultArenaMaxBytes int64 = 1 << 30
+
 // NewArena returns an empty arena whose fresh buffers are
 // first-touched under pfor (nil = plain allocation). maxPerLen bounds
-// each per-length free list (<= 0 selects DefaultArenaDepth).
-func NewArena(pfor ParallelFor, maxPerLen int) *Arena {
+// each per-length free list (<= 0 selects DefaultArenaDepth); maxBytes
+// bounds the total pooled memory (<= 0 selects DefaultArenaMaxBytes).
+func NewArena(pfor ParallelFor, maxPerLen int, maxBytes int64) *Arena {
 	if maxPerLen <= 0 {
 		maxPerLen = DefaultArenaDepth
 	}
-	return &Arena{pfor: pfor, free: make(map[int][][]float64), maxPerLen: maxPerLen}
+	if maxBytes <= 0 {
+		maxBytes = DefaultArenaMaxBytes
+	}
+	return &Arena{pfor: pfor, free: make(map[int][][]float64), maxPerLen: maxPerLen, maxBytes: maxBytes}
 }
 
 // buffer returns a pooled buffer of exactly the given length, or
@@ -54,7 +69,13 @@ func (a *Arena) buffer(length int) []float64 {
 	list := a.free[length]
 	if n := len(list); n > 0 {
 		buf := list[n-1]
-		a.free[length] = list[:n-1]
+		list[n-1] = nil
+		if n == 1 {
+			delete(a.free, length)
+		} else {
+			a.free[length] = list[:n-1]
+		}
+		a.totalBytes -= int64(length) * 8
 		a.hits++
 		a.mu.Unlock()
 		telemetry.ArenaHit.Inc()
@@ -67,16 +88,53 @@ func (a *Arena) buffer(length int) []float64 {
 }
 
 // put returns a buffer to the pool, dropping it if the per-length list
-// is full.
+// is full. When pooling it would push the arena past its total-bytes
+// bound, buffers of other lengths are evicted largest-first — the
+// incoming buffer belongs to the shape most recently run, so it is the
+// best bet for the current traffic mix; if eviction cannot make room
+// the buffer is dropped for the collector.
 func (a *Arena) put(buf []float64) {
 	if buf == nil {
 		return
 	}
+	size := int64(len(buf)) * 8
 	a.mu.Lock()
-	if len(a.free[len(buf)]) < a.maxPerLen {
-		a.free[len(buf)] = append(a.free[len(buf)], buf)
+	defer a.mu.Unlock()
+	if len(a.free[len(buf)]) >= a.maxPerLen || size > a.maxBytes {
+		return
 	}
-	a.mu.Unlock()
+	for a.totalBytes+size > a.maxBytes {
+		if !a.evictLargestLocked(len(buf)) {
+			return
+		}
+	}
+	a.free[len(buf)] = append(a.free[len(buf)], buf)
+	a.totalBytes += size
+}
+
+// evictLargestLocked drops one pooled buffer from the largest-length
+// free list other than keep, reporting whether anything was evicted.
+// Callers must hold a.mu.
+func (a *Arena) evictLargestLocked(keep int) bool {
+	largest := -1
+	for length, list := range a.free {
+		if length != keep && len(list) > 0 && length > largest {
+			largest = length
+		}
+	}
+	if largest < 0 {
+		return false
+	}
+	list := a.free[largest]
+	n := len(list)
+	list[n-1] = nil
+	if n == 1 {
+		delete(a.free, largest)
+	} else {
+		a.free[largest] = list[:n-1]
+	}
+	a.totalBytes -= int64(largest) * 8
+	return true
 }
 
 // Grid1D checks out a 1D grid of the given shape. Contents are
@@ -163,4 +221,11 @@ func (a *Arena) Pooled() int {
 		n += len(list)
 	}
 	return n
+}
+
+// PooledBytes returns the total memory currently parked in the arena.
+func (a *Arena) PooledBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.totalBytes
 }

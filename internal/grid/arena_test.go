@@ -8,7 +8,7 @@ func sameBacking(a, b []float64) bool {
 }
 
 func TestArenaReusesBuffers(t *testing.T) {
-	a := NewArena(nil, 0)
+	a := NewArena(nil, 0, 0)
 	g1 := a.Grid2D(16, 16, 1, 1)
 	b0, b1 := g1.Buf[0], g1.Buf[1]
 	if h, m := a.Stats(); h != 0 || m != 2 {
@@ -37,7 +37,7 @@ func TestArenaReusesBuffers(t *testing.T) {
 // Different shapes with the same flat length share one free list;
 // different lengths do not mix.
 func TestArenaPoolsByLength(t *testing.T) {
-	a := NewArena(nil, 0)
+	a := NewArena(nil, 0, 0)
 	g := a.Grid2D(16, 16, 1, 1) // (16+2)*(16+2) = 324 per buffer
 	buf := g.Buf[0]
 	a.Release(g)
@@ -57,7 +57,7 @@ func TestArenaPoolsByLength(t *testing.T) {
 }
 
 func TestArenaBoundsFreeList(t *testing.T) {
-	a := NewArena(nil, 3)
+	a := NewArena(nil, 3, 0)
 	grids := make([]*Grid1D, 5)
 	for i := range grids {
 		grids[i] = a.Grid1D(64, 1)
@@ -67,6 +67,44 @@ func TestArenaBoundsFreeList(t *testing.T) {
 	}
 	if got := a.Pooled(); got != 3 {
 		t.Fatalf("pooled %d buffers with maxPerLen=3, want 3", got)
+	}
+}
+
+// The total-bytes bound holds across distinct lengths: cycling through
+// many different near-limit shapes must not pin maxPerLen buffers per
+// length, and pooling the newest shape evicts older, larger buffers
+// rather than refusing it.
+func TestArenaBoundsTotalBytes(t *testing.T) {
+	const maxBytes = 4 * 1024 * 8 // room for 4 KiB-sized buffers
+	a := NewArena(nil, 8, maxBytes)
+
+	// 8 distinct lengths just above 1024 floats: unbounded pooling
+	// would park 8 KiB-sized buffers; the cap must hold at 4.
+	for i := 0; i < 8; i++ {
+		g := a.Grid1D(1024+2*i, 0)
+		a.Release(g)
+		if got := a.PooledBytes(); got > maxBytes {
+			t.Fatalf("pooled %d bytes after shape %d, cap is %d", got, i, maxBytes)
+		}
+	}
+	if got := a.PooledBytes(); got > maxBytes {
+		t.Fatalf("pooled %d bytes, cap is %d", got, maxBytes)
+	}
+
+	// The most recent (smallest) shape must have displaced older larger
+	// ones: checking it out again is a hit, not a fresh allocation.
+	_, m0 := a.Stats()
+	g := a.Grid1D(1024+2*7, 0)
+	if _, m := a.Stats(); m != m0 {
+		t.Fatal("most recently released shape was not pooled under the byte cap")
+	}
+	a.Release(g)
+
+	// A single buffer larger than the whole cap is never pooled.
+	tiny := NewArena(nil, 8, 64)
+	tiny.Release(tiny.Grid1D(1024, 0))
+	if got := tiny.PooledBytes(); got != 0 {
+		t.Fatalf("buffer larger than the cap was pooled (%d bytes)", got)
 	}
 }
 
@@ -80,7 +118,7 @@ func TestArenaFirstTouchesThroughParallelFor(t *testing.T) {
 			body(i, 0)
 		}
 	}
-	a := NewArena(pfor, 0)
+	a := NewArena(pfor, 0, 0)
 	big := a.Grid1D(minParallelAlloc, 0)
 	if calls != 2 {
 		t.Fatalf("parallel first-touch ran %d times for a fresh large grid, want 2", calls)
@@ -93,7 +131,7 @@ func TestArenaFirstTouchesThroughParallelFor(t *testing.T) {
 }
 
 func TestArenaReleaseIgnoresForeignValues(t *testing.T) {
-	a := NewArena(nil, 0)
+	a := NewArena(nil, 0, 0)
 	a.Release(nil)
 	a.Release(42)
 	a.Release((*Grid2D)(nil))

@@ -23,6 +23,9 @@ func submit(t testing.TB, s *Server, req JobRequest) *JobResult {
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
 	}
+	if err := s.prepare(j); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.enqueue(j); err != nil {
 		t.Fatal(err)
 	}

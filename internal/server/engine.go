@@ -39,7 +39,7 @@ func buildEngines(cfg *Config) []*engine {
 		engines[i] = &engine{
 			id:    i,
 			pool:  pool,
-			arena: grid.NewArena(pool.ForSticky, cfg.ArenaDepth),
+			arena: grid.NewArena(pool.ForSticky, cfg.ArenaDepth, cfg.ArenaMaxBytes),
 		}
 	}
 	return engines

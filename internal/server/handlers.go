@@ -119,6 +119,12 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
 	}
+	if err := s.prepare(j); err != nil {
+		s.rejected.Add(1)
+		tm.rejInvalid.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
 	switch err := s.enqueue(j); err {
 	case nil:
 	case errDraining:
@@ -175,7 +181,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeValues streams the final grid one x-row per NDJSON event
-// (rank <= 2, enforced at admission).
+// (rank <= 2, enforced at admission). Built-in kernels produce
+// Grid1D/Grid2D; generic star/box kernels of the same ranks produce
+// NDGrid, which must stream identically — a values:true client gets
+// its rows regardless of which executor ran the job.
 func writeValues(enc *json.Encoder, g any) {
 	switch t := g.(type) {
 	case *grid.Grid1D:
@@ -191,6 +200,28 @@ func writeValues(enc *json.Encoder, g any) {
 				row[y] = t.At(x, y)
 			}
 			_ = enc.Encode(map[string]any{"event": "values", "x": x, "row": row})
+		}
+	case *grid.NDGrid:
+		switch t.D() {
+		case 1:
+			row := make([]float64, t.Dims[0])
+			c := make([]int, 1)
+			for x := range row {
+				c[0] = x
+				row[x] = t.At(c)
+			}
+			_ = enc.Encode(map[string]any{"event": "values", "x": 0, "row": row})
+		case 2:
+			row := make([]float64, t.Dims[1])
+			c := make([]int, 2)
+			for x := 0; x < t.Dims[0]; x++ {
+				c[0] = x
+				for y := range row {
+					c[1] = y
+					row[y] = t.At(c)
+				}
+				_ = enc.Encode(map[string]any{"event": "values", "x": x, "row": row})
+			}
 		}
 	}
 }

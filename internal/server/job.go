@@ -96,6 +96,7 @@ type job struct {
 	tenant   string           // sanitized metric label
 	spec     *stencil.Spec    // built-in path (rank 1-3)
 	gen      *stencil.Generic // generic path (any rank)
+	sched    *core.Schedule   // resolved at admission (see prepare)
 	enqueued time.Time
 
 	done chan struct{} // closed when res/err are final
@@ -117,15 +118,20 @@ func (s *Server) resolve(req *JobRequest) (*stencil.Spec, *stencil.Generic, erro
 	if len(req.N) > s.cfg.MaxDims {
 		return nil, nil, fmt.Errorf("rank %d exceeds the limit of %d dimensions", len(req.N), s.cfg.MaxDims)
 	}
+	// Check each factor against the limit before multiplying: the
+	// bound-then-multiply order keeps `points` <= MaxPoints at all
+	// times, so the product can never overflow int64 and sneak an
+	// astronomically large domain past admission.
 	points := int64(1)
+	maxPts := int64(s.cfg.MaxPoints)
 	for k, nk := range req.N {
 		if nk < 1 {
 			return nil, nil, fmt.Errorf("n[%d]=%d must be >= 1", k, nk)
 		}
-		points *= int64(nk)
-		if points > int64(s.cfg.MaxPoints) {
+		if int64(nk) > maxPts || points > maxPts/int64(nk) {
 			return nil, nil, fmt.Errorf("grid of %v exceeds the limit of %d points", req.N, s.cfg.MaxPoints)
 		}
+		points *= int64(nk)
 	}
 	if req.Steps < 1 {
 		return nil, nil, fmt.Errorf("steps=%d must be >= 1", req.Steps)
@@ -165,6 +171,30 @@ func (s *Server) resolve(req *JobRequest) (*stencil.Spec, *stencil.Generic, erro
 		}
 		return spec, nil, nil
 	}
+}
+
+// prepare resolves the job's tessellation schedule at admission time.
+// Option combinations that pass validateOptions field-by-field but
+// produce an invalid core.Config (e.g. a block too small for the
+// resolved BT and slopes) fail here with a descriptive error for a
+// 400, before the job ever reaches the queue — engine-side errors stay
+// reserved for genuine internal failures. The schedule comes from the
+// shared cache, so warm shapes pay one lookup and cold shapes are
+// built off the engines' serving path.
+func (s *Server) prepare(j *job) error {
+	var slopes []int
+	if j.spec != nil {
+		slopes = j.spec.Slopes
+	} else {
+		slopes = j.gen.Slopes
+	}
+	cfg := jobConfig(j.req.N, slopes, &j.req.Options)
+	sched, err := s.sched.Get(&cfg, j.req.Steps)
+	if err != nil {
+		return err
+	}
+	j.sched = sched
+	return nil
 }
 
 func validateOptions(o *JobOptions, dims int) error {

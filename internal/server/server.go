@@ -3,10 +3,13 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -48,6 +51,9 @@ type Config struct {
 	// ArenaDepth bounds each engine arena's per-length free list
 	// (0 = grid.DefaultArenaDepth).
 	ArenaDepth int
+	// ArenaMaxBytes bounds each engine arena's total pooled memory
+	// across all buffer lengths (0 = grid.DefaultArenaMaxBytes).
+	ArenaMaxBytes int64
 }
 
 func (c *Config) setDefaults() {
@@ -74,6 +80,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.ArenaDepth <= 0 {
 		c.ArenaDepth = grid.DefaultArenaDepth
+	}
+	if c.ArenaMaxBytes <= 0 {
+		c.ArenaMaxBytes = grid.DefaultArenaMaxBytes
 	}
 }
 
@@ -264,7 +273,7 @@ func (s *Server) execute(e *engine, j *job) {
 	telemetry.ServeEnginesBusy.AddUngated(1)
 	defer telemetry.ServeEnginesBusy.AddUngated(-1)
 
-	err := s.run(e, j)
+	err := s.runSafe(e, j)
 
 	runSec := time.Since(pickup).Seconds()
 	telemetry.DefaultTracer.RecordSpan(telemetry.Event{
@@ -290,6 +299,23 @@ func (s *Server) execute(e *engine, j *job) {
 	close(j.done)
 }
 
+// runSafe runs one job, converting a panic anywhere in the execution
+// path (grid checkout, kernel, schedule replay) into that job's error:
+// the server is multi-tenant, so one malformed or adversarial job must
+// fail alone, not take the process — and every other tenant — down
+// with it.
+func (s *Server) runSafe(e *engine, j *job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// The stack goes to stderr for the operator; the tenant's
+			// error stays terse (internal paths are not theirs to see).
+			fmt.Fprintf(os.Stderr, "server: job j-%d panicked: %v\n%s", j.id, r, debug.Stack())
+			err = fmt.Errorf("internal error: job panicked: %v", r)
+		}
+	}()
+	return s.run(e, j)
+}
+
 // run seeds, executes and digests one job on engine e. The built-in
 // (Spec) ranks check grids out of the engine arena and replay cached
 // schedules, so a warm shape performs no large allocation and no
@@ -311,12 +337,12 @@ func (s *Server) run(e *engine, j *job) error {
 		Updates: points * int64(req.Steps),
 	}
 
+	// The schedule was resolved and validated at admission (prepare),
+	// so reaching an engine with a config error is impossible by
+	// construction.
+	sched := j.sched
+
 	if j.spec != nil {
-		cfg := jobConfig(req.N, j.spec.Slopes, &req.Options)
-		sched, err := s.sched.Get(&cfg, req.Steps)
-		if err != nil {
-			return err
-		}
 		switch j.spec.Dims {
 		case 1:
 			g := e.arena.Grid1D(req.N[0], j.spec.Slopes[0])
@@ -350,11 +376,6 @@ func (s *Server) run(e *engine, j *job) error {
 		return nil
 	}
 
-	cfg := jobConfig(req.N, j.gen.Slopes, &req.Options)
-	sched, err := s.sched.Get(&cfg, req.Steps)
-	if err != nil {
-		return err
-	}
 	g := grid.NewNDGrid(req.N, j.gen.Slopes)
 	SeedGridND(g, req.Kernel, req.Seed, bd)
 	if err := core.RunScheduledND(g, j.gen, sched, e.pool); err != nil {

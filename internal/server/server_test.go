@@ -167,6 +167,14 @@ func TestServeRejectsInvalid(t *testing.T) {
 		{JobRequest{Kernel: "heat-2d", N: []int{4, 4}, Steps: 0}, "steps"},
 		{JobRequest{Kernel: "heat-2d", N: []int{4, 4}, Steps: 1000}, "limit"},
 		{JobRequest{Kernel: "heat-2d", N: []int{1 << 10, 1 << 10}, Steps: 1}, "points"},
+		// int64-overflow probe: the prefix product 2^16 * 2^48 wraps to
+		// 0, so a multiply-then-check loop would admit it.
+		{JobRequest{Kernel: "heat-2d", N: []int{1 << 16, 1 << 48}, Steps: 1}, "points"},
+		// Passes field-by-field option validation but yields an invalid
+		// config (block 2 < 2*BT*slope = 8): must 400 at admission, not
+		// 500 from the engine.
+		{JobRequest{Kernel: "heat-2d", N: []int{32, 32}, Steps: 1,
+			Options: JobOptions{TimeTile: 4, Block: []int{2, 2}}}, "too small"},
 		{JobRequest{Kernel: "heat-2d", N: []int{64}, Steps: 1}, "2d"},
 		{JobRequest{Kernel: "no-such-kernel", N: []int{64}, Steps: 1}, "unknown"},
 		{JobRequest{Kernel: "star", Order: 9, N: []int{64}, Steps: 1}, "order"},
@@ -295,6 +303,97 @@ func TestServeStreamValues(t *testing.T) {
 	// (the checksum itself is the fixed-order digest).
 	if diff := rowSum - checksum; diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("streamed values sum %v != checksum %v", rowSum, checksum)
+	}
+}
+
+// A job that panics inside the engine must fail alone: the panic is
+// converted into that job's error and the engine keeps serving other
+// tenants instead of taking the process down.
+func TestEnginePanicFailsJobNotServer(t *testing.T) {
+	s := testServer(t, Config{Engines: 1, ThreadsPerEngine: 1})
+
+	spec, err := stencil.ByName("heat-2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bypass admission with a rank-mismatched job (2D spec, 1D extents)
+	// and no schedule: executing it panics inside the engine.
+	j := &job{
+		req:      JobRequest{Kernel: "heat-2d", N: []int{32}, Steps: 2},
+		id:       s.nextID.Add(1),
+		tenant:   "default",
+		spec:     spec,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	if err := s.enqueue(j); err != nil {
+		t.Fatal(err)
+	}
+	<-j.done
+	if j.err == nil || !strings.Contains(j.err.Error(), "panic") {
+		t.Fatalf("panicking job error = %v, want a recovered panic", j.err)
+	}
+
+	// The engine survived: a well-formed job still completes over HTTP.
+	resp, body := postJob(t, s, &JobRequest{Kernel: "heat-2d", N: []int{32, 32}, Steps: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after engine panic: %s", resp.StatusCode, body)
+	}
+}
+
+// values:true must stream rows for generic star/box kernels too (they
+// run the ND executor, so the grid arriving at the handler is an
+// NDGrid, not a Grid1D/Grid2D).
+func TestServeStreamValuesGeneric(t *testing.T) {
+	s := testServer(t, Config{Engines: 1, ThreadsPerEngine: 1})
+	for _, tc := range []struct {
+		n        []int
+		wantRows int
+	}{
+		{[]int{24, 16}, 24},
+		{[]int{48}, 1},
+	} {
+		req := JobRequest{Kernel: "star", N: tc.n, Steps: 5, Seed: 11, Values: true}
+		body, _ := json.Marshal(&req)
+		resp, err := http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var (
+			checksum float64
+			rowSum   float64
+			rows     int
+		)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var ev struct {
+				Event  string    `json:"event"`
+				Result JobResult `json:"result"`
+				Row    []float64 `json:"row"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("bad event %q: %v", sc.Text(), err)
+			}
+			switch ev.Event {
+			case "result":
+				checksum = ev.Result.Checksum
+			case "values":
+				rows++
+				for _, v := range ev.Row {
+					rowSum += v
+				}
+			}
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if rows != tc.wantRows {
+			t.Fatalf("n=%v: streamed %d value rows, want %d", tc.n, rows, tc.wantRows)
+		}
+		if diff := rowSum - checksum; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("n=%v: streamed values sum %v != checksum %v", tc.n, rowSum, checksum)
+		}
 	}
 }
 
