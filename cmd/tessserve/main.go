@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -38,16 +39,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address ('' = kernel-chosen port)")
-		engines  = flag.Int("engines", 0, "execution lanes (0 = min(4, NumCPU))")
-		threads  = flag.Int("threads", 0, "pool width per engine (0 = NumCPU/engines)")
-		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4*engines)")
-		pin      = flag.Bool("pin", false, "pin engine workers to disjoint CPU slices")
-		sticky   = flag.Bool("sticky", false, "sticky block->worker scheduling per engine")
-		maxPts   = flag.Int("max-points", 0, "per-job grid point limit (0 = 1<<24)")
-		maxSteps = flag.Int("max-steps", 0, "per-job step limit (0 = 1<<20)")
-		arenaMax = flag.Int64("arena-max-bytes", 0, "per-engine arena pooled-memory limit (0 = 1 GiB)")
-		drain    = flag.Duration("drain-timeout", 60*time.Second, "graceful drain limit on SIGTERM")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address ('' = kernel-chosen port)")
+		engines     = flag.Int("engines", 0, "execution lanes (0 = min(4, NumCPU))")
+		threads     = flag.Int("threads", 0, "pool width per engine (0 = NumCPU/engines)")
+		queue       = flag.Int("queue", 0, "default per-tenant queue depth (0 = 4*engines)")
+		tenantQueue = flag.Int("tenant-queue", 0, "per-tenant admission queue depth (0 = -queue)")
+		weightsFlag = flag.String("tenant-weights", "", "fair-share weights, e.g. 'gold=3,bronze=1' (absent tenants weigh 1)")
+		maxTenants  = flag.Int("max-tenants", 0, "distinct tenant labels tracked; beyond this, tenants collapse into \"other\" (0 = 1024)")
+		resultCache = flag.Int("result-cache", 0, "deterministic result cache entries (0 = 4096, -1 = disabled)")
+		pin         = flag.Bool("pin", false, "pin engine workers to disjoint CPU slices")
+		sticky      = flag.Bool("sticky", false, "sticky block->worker scheduling per engine")
+		maxPts      = flag.Int("max-points", 0, "per-job grid point limit (0 = 1<<24)")
+		maxSteps    = flag.Int("max-steps", 0, "per-job step limit (0 = 1<<20)")
+		arenaMax    = flag.Int64("arena-max-bytes", 0, "per-engine arena pooled-memory limit (0 = 1 GiB)")
+		drain       = flag.Duration("drain-timeout", 60*time.Second, "graceful drain limit on SIGTERM")
 
 		smoke = flag.Bool("smoke", false, "run the self-contained smoke check and exit")
 
@@ -62,11 +67,19 @@ func main() {
 	)
 	flag.Parse()
 
+	weights, err := parseWeights(*weightsFlag)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := server.Config{
 		Addr:             *addr,
 		Engines:          *engines,
 		ThreadsPerEngine: *threads,
 		QueueDepth:       *queue,
+		TenantQueueDepth: *tenantQueue,
+		TenantWeights:    weights,
+		MaxTenants:       *maxTenants,
+		ResultCacheSize:  *resultCache,
 		Pin:              *pin,
 		Sticky:           *sticky,
 		MaxPoints:        *maxPts,
@@ -96,6 +109,26 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// parseWeights parses the -tenant-weights flag ("gold=3,bronze=1").
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	w := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q: want tenant=weight", part)
+		}
+		var v int
+		if _, err := fmt.Sscanf(val, "%d", &v); err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -tenant-weights weight %q: want a positive integer", val)
+		}
+		w[name] = v
+	}
+	return w, nil
+}
+
 // serve runs until SIGTERM/SIGINT, then drains gracefully.
 func serve(cfg server.Config, drainTimeout time.Duration) error {
 	s := server.New(cfg)
@@ -122,8 +155,10 @@ func serve(cfg server.Config, drainTimeout time.Duration) error {
 
 // runSmoke is the CI end-to-end check: start a server on a
 // kernel-chosen port, submit a heat-2d job over real HTTP, verify the
-// checksum bitwise against the naive reference, confirm the job
-// counters reached /metrics, and shut down cleanly.
+// checksum bitwise against the naive reference, re-submit it and
+// verify the repeat is served bitwise-equal from the result cache,
+// drive a weighted two-tenant mix through the fair queue, confirm the
+// job and cache counters reached /metrics, and shut down cleanly.
 func runSmoke(cfg server.Config) error {
 	cfg.Addr = "127.0.0.1:0"
 	if cfg.Engines == 0 {
@@ -131,6 +166,9 @@ func runSmoke(cfg server.Config) error {
 	}
 	if cfg.ThreadsPerEngine == 0 {
 		cfg.ThreadsPerEngine = 2
+	}
+	if cfg.TenantWeights == nil {
+		cfg.TenantWeights = map[string]int{"gold": 3, "bronze": 1}
 	}
 	s := server.New(cfg)
 	if err := s.Start(); err != nil {
@@ -172,6 +210,61 @@ func runSmoke(cfg server.Config) error {
 	fmt.Printf("smoke: heat-2d %dx%d x%d steps, checksum %v matches naive reference (%.1f MLUP/s on engine %d)\n",
 		n, n, steps, res.Checksum, res.MLUPs, res.Engine)
 
+	// Repeat the identical job: the deterministic result cache must
+	// answer it bitwise-equal without executing anything.
+	resp, err = http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("repeat submit: %w", err)
+	}
+	var res2 server.JobResult
+	err = json.NewDecoder(resp.Body).Decode(&res2)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode repeat result: %w", err)
+	}
+	if !res2.Cached || res2.Engine != -1 {
+		return fmt.Errorf("repeat job not served from the result cache: %+v", res2)
+	}
+	if res2.Checksum != res.Checksum {
+		return fmt.Errorf("cached checksum %v != executed checksum %v", res2.Checksum, res.Checksum)
+	}
+	fmt.Println("smoke: repeat job served bitwise-equal from the result cache")
+
+	// Weighted two-tenant mix: gold (weight 3) and bronze (weight 1)
+	// jobs with distinct seeds flow through the fair queue together and
+	// all complete.
+	var wg sync.WaitGroup
+	mixErrs := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		// Distinct seeds per tenant AND per job: the result-cache key
+		// ignores the tenant, and the mix must exercise the queue, not
+		// the cache.
+		for ti, tenant := range []string{"gold", "bronze"} {
+			wg.Add(1)
+			go func(tenant string, seed int64) {
+				defer wg.Done()
+				b, _ := json.Marshal(server.JobRequest{
+					Tenant: tenant, Kernel: "heat-2d", N: []int{n, n}, Steps: steps, Seed: seed,
+				})
+				r, err := http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", bytes.NewReader(b))
+				if err != nil {
+					mixErrs <- fmt.Errorf("%s job: %w", tenant, err)
+					return
+				}
+				defer r.Body.Close()
+				if r.StatusCode != http.StatusOK {
+					mixErrs <- fmt.Errorf("%s job status %d", tenant, r.StatusCode)
+				}
+			}(tenant, int64(100*(ti+1)+i))
+		}
+	}
+	wg.Wait()
+	close(mixErrs)
+	for err := range mixErrs {
+		return err
+	}
+	fmt.Println("smoke: weighted two-tenant mix (gold=3, bronze=1) all completed")
+
 	mresp, err := http.Get("http://" + s.Addr() + "/metrics")
 	if err != nil {
 		return fmt.Errorf("scrape: %w", err)
@@ -185,12 +278,15 @@ func runSmoke(cfg server.Config) error {
 	for _, frag := range []string{
 		`tess_jobs_accepted_total{tenant="smoke"} 1`,
 		`tess_jobs_completed_total{tenant="smoke",status="ok"} 1`,
+		`tess_jobs_accepted_total{tenant="gold"} 4`,
+		`tess_jobs_accepted_total{tenant="bronze"} 4`,
+		`tess_result_cache_lookups_total{result="hit"} 1`,
 	} {
 		if !strings.Contains(buf.String(), frag) {
 			return fmt.Errorf("/metrics missing %q", frag)
 		}
 	}
-	fmt.Println("smoke: /metrics exposes the job counters")
+	fmt.Println("smoke: /metrics exposes the job and result-cache counters")
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -200,8 +296,11 @@ func runSmoke(cfg server.Config) error {
 	return s.Close()
 }
 
-// runBench starts an in-process server and runs scenarios scenarios of
-// closed- and open-loop load against it, writing a JSON report.
+// runBench starts an in-process server and cycles four scenario kinds
+// against it — closed loop (engine throughput, varied seeds), open
+// loop (latency at a target rate), cache (fixed seed: repeat-job
+// serving from the result cache) and fairness (victim vs flooding
+// tenant) — writing a JSON report.
 func runBench(cfg server.Config, scenarios int, out string, dur time.Duration,
 	kernel, nFlag string, steps, conc int, rate float64) error {
 	var n []int
@@ -220,31 +319,57 @@ func runBench(cfg server.Config, scenarios int, out string, dur time.Duration,
 	defer s.Close()
 
 	type report struct {
-		Host    string             `json:"host"`
-		Engines int                `json:"engines"`
-		Threads int                `json:"threads_per_engine"`
-		Runs    []bench.LoadReport `json:"runs"`
+		Host     string                 `json:"host"`
+		Engines  int                    `json:"engines"`
+		Threads  int                    `json:"threads_per_engine"`
+		Runs     []bench.LoadReport     `json:"runs"`
+		Fairness []bench.FairnessReport `json:"fairness,omitempty"`
 	}
 	rep := report{Engines: s.Engines(), Threads: cfg.ThreadsPerEngine}
 	rep.Host, _ = os.Hostname()
 
 	for i := 0; i < scenarios; i++ {
+		if i%4 == 3 {
+			fr, err := bench.RunFairness(bench.FairnessConfig{
+				URL: "http://" + s.Addr(), Kernel: kernel, N: n, Steps: steps,
+				Duration: dur, FloodConcurrency: 4 * conc, Seed: int64(1_000_000 * (i + 1)),
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "bench[%d] fairness: victim p99 %.1fms solo -> %.1fms under %dx flood (ratio %.2f)\n",
+				i, fr.SoloP99*1e3, fr.VictimP99*1e3, fr.FloodConcurrency, fr.P99Ratio)
+			rep.Fairness = append(rep.Fairness, *fr)
+			continue
+		}
 		lc := bench.LoadConfig{
 			URL: "http://" + s.Addr(), Kernel: kernel, N: n, Steps: steps,
-			Tenant: "bench", Duration: dur, Seed: int64(i + 1),
+			// Seed ranges are a scenario apart so a varied-seed scenario
+			// never replays a prior scenario's simulations from the cache.
+			Tenant: "bench", Duration: dur, Seed: int64(1_000_000 * (i + 1)),
 		}
-		if i%2 == 0 {
+		mode := "cache"
+		switch i % 4 {
+		case 0:
 			lc.Concurrency = conc
-		} else {
+			lc.VarySeeds = true
+			mode = "closed"
+		case 1:
 			lc.OpenLoop = true
 			lc.RatePerSec = rate
+			lc.VarySeeds = true
+			mode = "open"
+		case 2:
+			// Fixed seed, closed loop: after the first execution every
+			// job is a repeat, so this measures cache-hit jobs/s.
+			lc.Concurrency = conc
 		}
 		r, err := bench.RunLoad(lc)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "bench[%d] %s: %d jobs, %.1f jobs/s, %.1f MLUP/s, p50 %.1fms p99 %.1fms\n",
-			i, r.Mode, r.Completed, r.JobsPerSec, r.MLUPs, r.LatencyP50*1e3, r.LatencyP99*1e3)
+		fmt.Fprintf(os.Stderr, "bench[%d] %s: %d jobs (%d cached), %.1f jobs/s, %.1f MLUP/s, p50 %.1fms p99 %.1fms\n",
+			i, mode, r.Completed, r.Cached, r.JobsPerSec, r.MLUPs, r.LatencyP50*1e3, r.LatencyP99*1e3)
 		rep.Runs = append(rep.Runs, *r)
 	}
 

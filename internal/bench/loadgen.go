@@ -53,6 +53,13 @@ type LoadConfig struct {
 	MaxInFlight int
 	// Seed drives the arrival process and per-job seeds.
 	Seed int64
+	// VarySeeds gives every job a distinct seed (Seed, Seed+1, ...) so
+	// none is answered from the server's deterministic result cache:
+	// set it to measure engine throughput; leave it unset to measure
+	// the repeat-job (cache-hit) serving path. Distinct seeds mean
+	// distinct checksums, so the cross-response determinism check is
+	// skipped.
+	VarySeeds bool
 }
 
 // LoadReport is the result of one load-generation run.
@@ -67,6 +74,7 @@ type LoadReport struct {
 
 	Submitted int `json:"submitted"`
 	Completed int `json:"completed"`
+	Cached    int `json:"cached"`   // completed via the result cache
 	Rejected  int `json:"rejected"` // 429/503 load sheds
 	Dropped   int `json:"dropped"`  // open loop: arrivals over MaxInFlight
 	Errors    int `json:"errors"`
@@ -85,9 +93,11 @@ type LoadReport struct {
 
 // loadResult is one request's outcome.
 type loadResult struct {
-	latency  float64
+	latency  float64 // client-observed, seconds
+	queueSec float64 // server-reported admission-to-pickup wait
 	status   int
 	err      bool
+	cached   bool
 	checksum float64
 }
 
@@ -109,19 +119,51 @@ func (c *LoadConfig) setDefaults() {
 	}
 }
 
+// postJob submits one job and records the client-observed outcome.
+func postJob(client *http.Client, url string, body []byte) loadResult {
+	t0 := time.Now()
+	r := loadResult{}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		r.err = true
+	} else {
+		r.status = resp.StatusCode
+		if resp.StatusCode == http.StatusOK {
+			var res struct {
+				Checksum     float64 `json:"checksum"`
+				Cached       bool    `json:"cached"`
+				QueueSeconds float64 `json:"queue_seconds"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&res) == nil {
+				r.checksum = res.Checksum
+				r.cached = res.Cached
+				r.queueSec = res.QueueSeconds
+			}
+		} else {
+			_, _ = io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+	}
+	r.latency = time.Since(t0).Seconds()
+	return r
+}
+
+// jobBody renders one job request body.
+func jobBody(tenant, kernel string, n []int, steps int, seed int64) []byte {
+	body, _ := json.Marshal(map[string]any{
+		"tenant": tenant,
+		"kernel": kernel,
+		"n":      n,
+		"steps":  steps,
+		"seed":   seed,
+	})
+	return body
+}
+
 // RunLoad drives the server at cfg.URL for cfg.Duration and reports.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	cfg.setDefaults()
-	body, err := json.Marshal(map[string]any{
-		"tenant": cfg.Tenant,
-		"kernel": cfg.Kernel,
-		"n":      cfg.N,
-		"steps":  cfg.Steps,
-		"seed":   cfg.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
+	fixedBody := jobBody(cfg.Tenant, cfg.Kernel, cfg.N, cfg.Steps, cfg.Seed)
 	// Jobs admitted near the deadline still drain after it: allow a
 	// generous tail before a client gives up.
 	client := &http.Client{Timeout: cfg.Duration + 30*time.Second}
@@ -131,28 +173,15 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		mu      sync.Mutex
 		results []loadResult
 		dropped atomic.Int64
+		seedSeq atomic.Int64
 	)
+	seedSeq.Store(cfg.Seed)
 	post := func() {
-		t0 := time.Now()
-		r := loadResult{}
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-		if err != nil {
-			r.err = true
-		} else {
-			r.status = resp.StatusCode
-			if resp.StatusCode == http.StatusOK {
-				var res struct {
-					Checksum float64 `json:"checksum"`
-				}
-				if json.NewDecoder(resp.Body).Decode(&res) == nil {
-					r.checksum = res.Checksum
-				}
-			} else {
-				_, _ = io.Copy(io.Discard, resp.Body)
-			}
-			resp.Body.Close()
+		body := fixedBody
+		if cfg.VarySeeds {
+			body = jobBody(cfg.Tenant, cfg.Kernel, cfg.N, cfg.Steps, seedSeq.Add(1))
 		}
-		r.latency = time.Since(t0).Seconds()
+		r := postJob(client, url, body)
 		mu.Lock()
 		results = append(results, r)
 		mu.Unlock()
@@ -224,7 +253,16 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			rep.Errors++
 		case r.status == http.StatusOK:
 			rep.Completed++
+			if r.cached {
+				rep.Cached++
+			}
 			latencies = append(latencies, r.latency)
+			// With a fixed seed every response replays one simulation, so
+			// any checksum disagreement is a served nondeterminism bug;
+			// varied seeds are distinct simulations and skip the check.
+			if cfg.VarySeeds {
+				break
+			}
 			if firstChecksum == 0 {
 				firstChecksum = r.checksum
 			} else if r.checksum != firstChecksum {
@@ -247,6 +285,190 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.LatencyP90 = quantile(latencies, 0.90)
 		rep.LatencyP99 = quantile(latencies, 0.99)
 		rep.LatencyMax = latencies[len(latencies)-1]
+	}
+	return rep, nil
+}
+
+// FairnessConfig parameterises a two-tenant starvation experiment: a
+// victim tenant is measured solo, then re-measured while a flooding
+// tenant saturates the server, and the report compares the victim's
+// latency percentiles across the two phases. Under the weighted-fair
+// scheduler the contended/solo p99 ratio stays small (the victim is
+// served at its own share regardless of the flood); under a shared
+// FIFO it would grow with the flooder's backlog.
+type FairnessConfig struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Kernel/N/Steps describe every job both tenants submit.
+	Kernel string
+	N      []int
+	Steps  int
+	// Duration is the window of each phase (solo, contended).
+	Duration time.Duration
+	// FloodConcurrency is the flooding tenant's closed-loop client
+	// count (default 8): each keeps the flooder's sub-queue full, so
+	// the offered load is far past the flooder's fair share.
+	FloodConcurrency int
+	// Victim/Flooder are the tenant names (defaults "victim",
+	// "flooder"); weight them in the server config to shift shares.
+	Victim  string
+	Flooder string
+	// Seed is the base per-job seed; all jobs vary seeds so none is
+	// served from the result cache.
+	Seed int64
+}
+
+// FairnessReport is the result of RunFairness.
+type FairnessReport struct {
+	Kernel           string `json:"kernel"`
+	N                []int  `json:"n"`
+	Steps            int    `json:"steps"`
+	FloodConcurrency int    `json:"flood_concurrency"`
+
+	// Solo phase: the victim alone on the server, one closed-loop client.
+	SoloCompleted int     `json:"solo_completed"`
+	SoloP50       float64 `json:"solo_latency_p50"`
+	SoloP99       float64 `json:"solo_latency_p99"`
+
+	// Contended phase: same victim client racing the flood.
+	VictimCompleted int     `json:"victim_completed"`
+	VictimP50       float64 `json:"victim_latency_p50"`
+	VictimP99       float64 `json:"victim_latency_p99"`
+	FloodCompleted  int     `json:"flood_completed"`
+	FloodRejected   int     `json:"flood_rejected"`
+
+	// P99Ratio is VictimP99 / SoloP99 — the starvation factor in
+	// client-observed latency. It includes client-side and CPU
+	// contention effects, so on a core-constrained host it overstates
+	// scheduler unfairness; the queue-wait fields below isolate the
+	// scheduler.
+	P99Ratio float64 `json:"p99_ratio"`
+
+	// Server-reported admission-to-pickup queue waits in the contended
+	// phase. Under weighted-fair scheduling the victim's wait stays
+	// near one job's service time while the flooder's grows with its
+	// own backlog — VictimQueueP99 << FloodQueueP99. Under a shared
+	// FIFO both would be the full backlog drain time.
+	VictimQueueP99 float64 `json:"victim_queue_p99"`
+	FloodQueueP99  float64 `json:"flood_queue_p99"`
+}
+
+// runTenant runs `concurrency` closed-loop clients for one tenant
+// until deadline, with per-job distinct seeds, and returns the
+// outcomes.
+func runTenant(client *http.Client, url, tenant string, cfg *FairnessConfig,
+	concurrency int, deadline time.Time, seedSeq *atomic.Int64) []loadResult {
+	var (
+		mu      sync.Mutex
+		results []loadResult
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				body := jobBody(tenant, cfg.Kernel, cfg.N, cfg.Steps, seedSeq.Add(1))
+				r := postJob(client, url, body)
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// RunFairness measures tenant isolation: victim solo, then victim vs
+// flood, reporting the victim's latency degradation.
+func RunFairness(cfg FairnessConfig) (*FairnessReport, error) {
+	if cfg.FloodConcurrency <= 0 {
+		cfg.FloodConcurrency = 8
+	}
+	if cfg.Victim == "" {
+		cfg.Victim = "victim"
+	}
+	if cfg.Flooder == "" {
+		cfg.Flooder = "flooder"
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	// Each tenant gets its own client with enough idle connections for
+	// its concurrency: the experiment must measure the server's
+	// scheduling, not client-side connection-pool contention between
+	// the victim and the flood.
+	newClient := func(conns int) *http.Client {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = conns
+		return &http.Client{Timeout: cfg.Duration + 30*time.Second, Transport: tr}
+	}
+	victimClient := newClient(2)
+	floodClient := newClient(cfg.FloodConcurrency)
+	url := cfg.URL + "/v1/jobs"
+	var seedSeq atomic.Int64
+	seedSeq.Store(cfg.Seed)
+
+	rep := &FairnessReport{
+		Kernel: cfg.Kernel, N: cfg.N, Steps: cfg.Steps,
+		FloodConcurrency: cfg.FloodConcurrency,
+	}
+	tally := func(results []loadResult) (completed, rejected int, latencies, queueWaits []float64) {
+		for _, r := range results {
+			switch {
+			case r.err:
+			case r.status == http.StatusOK:
+				completed++
+				latencies = append(latencies, r.latency)
+				queueWaits = append(queueWaits, r.queueSec)
+			case r.status == http.StatusTooManyRequests || r.status == http.StatusServiceUnavailable:
+				rejected++
+			}
+		}
+		sort.Float64s(latencies)
+		sort.Float64s(queueWaits)
+		return
+	}
+
+	// Phase 1: victim alone — the baseline an unloaded server gives.
+	solo := runTenant(victimClient, url, cfg.Victim, &cfg, 1, time.Now().Add(cfg.Duration), &seedSeq)
+	var soloLat []float64
+	rep.SoloCompleted, _, soloLat, _ = tally(solo)
+	if len(soloLat) == 0 {
+		return nil, fmt.Errorf("fairness solo phase completed no jobs")
+	}
+	rep.SoloP50 = quantile(soloLat, 0.50)
+	rep.SoloP99 = quantile(soloLat, 0.99)
+
+	// Phase 2: the same victim client racing the flood.
+	deadline := time.Now().Add(cfg.Duration)
+	var (
+		flood []loadResult
+		wg    sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flood = runTenant(floodClient, url, cfg.Flooder, &cfg, cfg.FloodConcurrency, deadline, &seedSeq)
+	}()
+	victim := runTenant(victimClient, url, cfg.Victim, &cfg, 1, deadline, &seedSeq)
+	wg.Wait()
+
+	var vicLat, vicQ, floodQ []float64
+	rep.VictimCompleted, _, vicLat, vicQ = tally(victim)
+	rep.FloodCompleted, rep.FloodRejected, _, floodQ = tally(flood)
+	if len(vicLat) == 0 {
+		return nil, fmt.Errorf("fairness contended phase: victim completed no jobs")
+	}
+	rep.VictimP50 = quantile(vicLat, 0.50)
+	rep.VictimP99 = quantile(vicLat, 0.99)
+	rep.VictimQueueP99 = quantile(vicQ, 0.99)
+	if len(floodQ) > 0 {
+		rep.FloodQueueP99 = quantile(floodQ, 0.99)
+	}
+	if rep.SoloP99 > 0 {
+		rep.P99Ratio = rep.VictimP99 / rep.SoloP99
 	}
 	return rep, nil
 }

@@ -1,12 +1,29 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"tessellate/internal/grid"
 	"tessellate/internal/par"
 	"tessellate/internal/stencil"
 )
+
+// ErrStopped is returned by the RunScheduled*Stop variants when the
+// cooperative stop flag is observed set at a region boundary. The grid
+// is left mid-run (Step is NOT advanced) and must be re-seeded before
+// reuse; a server releasing the buffer back to an arena does exactly
+// that.
+var ErrStopped = errors.New("core: run stopped at a region boundary")
+
+// stopped reports whether a cooperative stop has been requested.
+// Region boundaries are the natural check points: they are full
+// synchronisation points of the schedule (every worker has drained),
+// so aborting there never leaves a parallel region half-dispatched.
+func stopped(stop *atomic.Bool) bool {
+	return stop != nil && stop.Load()
+}
 
 // Run1D advances a 1D grid by steps time steps using the tessellation
 // schedule. The grid's halo must be at least the stencil slope.
@@ -20,7 +37,7 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.N}, s.Slopes); err != nil {
 		return err
 	}
-	return run1D(g, s, steps, cfg, cfg.Regions(steps), pool)
+	return run1D(g, s, steps, cfg, cfg.Regions(steps), pool, nil)
 }
 
 // RunScheduled1D is Run1D replaying a precomputed Schedule: no region
@@ -37,14 +54,34 @@ func RunScheduled1D(g *grid.Grid1D, s *stencil.Spec, sched *Schedule, pool *par.
 	if err := checkSchedule(sched, []int{g.N}, s.Slopes); err != nil {
 		return err
 	}
-	return run1D(g, s, sched.steps, &sched.cfg, sched.regions, pool)
+	return run1D(g, s, sched.steps, &sched.cfg, sched.regions, pool, nil)
 }
 
-func run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool) error {
+// RunScheduled1DStop is RunScheduled1D with a cooperative stop flag
+// checked between schedule replay regions: when stop is set, the run
+// aborts with ErrStopped at the next region boundary (see ErrStopped
+// for the grid contract). A nil stop behaves like RunScheduled1D.
+func RunScheduled1DStop(g *grid.Grid1D, s *stencil.Spec, sched *Schedule, pool *par.Pool, stop *atomic.Bool) error {
+	if s.Dims != 1 || s.K1 == nil {
+		return fmt.Errorf("core: %s is not a 1D kernel", s.Name)
+	}
+	if g.H < s.Slopes[0] {
+		return fmt.Errorf("core: grid halo %d < slope %d", g.H, s.Slopes[0])
+	}
+	if err := checkSchedule(sched, []int{g.N}, s.Slopes); err != nil {
+		return err
+	}
+	return run1D(g, s, sched.steps, &sched.cfg, sched.regions, pool, stop)
+}
+
+func run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool, stop *atomic.Bool) error {
 	h := g.H
 	useBlock := s.B1 != nil && BlockKernelsEnabled()
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range regions {
+		if stopped(stop) {
+			return ErrStopped
+		}
 		r := r
 		sp := beginRegion()
 		pool.ForSticky(r.Tasks(), func(gi, wkr int) {
@@ -110,7 +147,7 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.NX, g.NY}, s.Slopes); err != nil {
 		return err
 	}
-	return run2D(g, s, steps, cfg, cfg.Regions(steps), pool)
+	return run2D(g, s, steps, cfg, cfg.Regions(steps), pool, nil)
 }
 
 // RunScheduled2D is Run2D replaying a precomputed Schedule (see
@@ -125,13 +162,31 @@ func RunScheduled2D(g *grid.Grid2D, s *stencil.Spec, sched *Schedule, pool *par.
 	if err := checkSchedule(sched, []int{g.NX, g.NY}, s.Slopes); err != nil {
 		return err
 	}
-	return run2D(g, s, sched.steps, &sched.cfg, sched.regions, pool)
+	return run2D(g, s, sched.steps, &sched.cfg, sched.regions, pool, nil)
 }
 
-func run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool) error {
+// RunScheduled2DStop is RunScheduled2D with a cooperative stop flag
+// (see RunScheduled1DStop).
+func RunScheduled2DStop(g *grid.Grid2D, s *stencil.Spec, sched *Schedule, pool *par.Pool, stop *atomic.Bool) error {
+	if s.Dims != 2 || s.K2 == nil {
+		return fmt.Errorf("core: %s is not a 2D kernel", s.Name)
+	}
+	if g.HX < s.Slopes[0] || g.HY < s.Slopes[1] {
+		return fmt.Errorf("core: grid halo (%d,%d) < slopes %v", g.HX, g.HY, s.Slopes)
+	}
+	if err := checkSchedule(sched, []int{g.NX, g.NY}, s.Slopes); err != nil {
+		return err
+	}
+	return run2D(g, s, sched.steps, &sched.cfg, sched.regions, pool, stop)
+}
+
+func run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool, stop *atomic.Bool) error {
 	useBlock := s.B2 != nil && BlockKernelsEnabled()
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range regions {
+		if stopped(stop) {
+			return ErrStopped
+		}
 		r := r
 		sp := beginRegion()
 		pool.ForSticky(r.Tasks(), func(gi, wkr int) {
@@ -203,7 +258,7 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, pool *par.Po
 	if err := checkConfig(cfg, []int{g.NX, g.NY, g.NZ}, s.Slopes); err != nil {
 		return err
 	}
-	return run3D(g, s, steps, cfg, cfg.Regions(steps), pool)
+	return run3D(g, s, steps, cfg, cfg.Regions(steps), pool, nil)
 }
 
 // RunScheduled3D is Run3D replaying a precomputed Schedule (see
@@ -218,13 +273,31 @@ func RunScheduled3D(g *grid.Grid3D, s *stencil.Spec, sched *Schedule, pool *par.
 	if err := checkSchedule(sched, []int{g.NX, g.NY, g.NZ}, s.Slopes); err != nil {
 		return err
 	}
-	return run3D(g, s, sched.steps, &sched.cfg, sched.regions, pool)
+	return run3D(g, s, sched.steps, &sched.cfg, sched.regions, pool, nil)
 }
 
-func run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool) error {
+// RunScheduled3DStop is RunScheduled3D with a cooperative stop flag
+// (see RunScheduled1DStop).
+func RunScheduled3DStop(g *grid.Grid3D, s *stencil.Spec, sched *Schedule, pool *par.Pool, stop *atomic.Bool) error {
+	if s.Dims != 3 || s.K3 == nil {
+		return fmt.Errorf("core: %s is not a 3D kernel", s.Name)
+	}
+	if g.HX < s.Slopes[0] || g.HY < s.Slopes[1] || g.HZ < s.Slopes[2] {
+		return fmt.Errorf("core: grid halo (%d,%d,%d) < slopes %v", g.HX, g.HY, g.HZ, s.Slopes)
+	}
+	if err := checkSchedule(sched, []int{g.NX, g.NY, g.NZ}, s.Slopes); err != nil {
+		return err
+	}
+	return run3D(g, s, sched.steps, &sched.cfg, sched.regions, pool, stop)
+}
+
+func run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool, stop *atomic.Bool) error {
 	useBlock := s.B3 != nil && BlockKernelsEnabled()
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range regions {
+		if stopped(stop) {
+			return ErrStopped
+		}
 		r := r
 		sp := beginRegion()
 		pool.ForSticky(r.Tasks(), func(gi, wkr int) {
@@ -305,7 +378,7 @@ func RunND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, pool *pa
 	if err := checkConfig(cfg, g.Dims, gs.Slopes); err != nil {
 		return err
 	}
-	return runND(g, gs, steps, cfg, cfg.Regions(steps), pool)
+	return runND(g, gs, steps, cfg, cfg.Regions(steps), pool, nil)
 }
 
 // RunScheduledND is RunND replaying a precomputed Schedule (see
@@ -322,14 +395,34 @@ func RunScheduledND(g *grid.NDGrid, gs *stencil.Generic, sched *Schedule, pool *
 	if err := checkSchedule(sched, g.Dims, gs.Slopes); err != nil {
 		return err
 	}
-	return runND(g, gs, sched.steps, &sched.cfg, sched.regions, pool)
+	return runND(g, gs, sched.steps, &sched.cfg, sched.regions, pool, nil)
 }
 
-func runND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, regions []Region, pool *par.Pool) error {
+// RunScheduledNDStop is RunScheduledND with a cooperative stop flag
+// (see RunScheduled1DStop).
+func RunScheduledNDStop(g *grid.NDGrid, gs *stencil.Generic, sched *Schedule, pool *par.Pool, stop *atomic.Bool) error {
+	if gs.Dims != g.D() {
+		return fmt.Errorf("core: stencil dims %d != grid dims %d", gs.Dims, g.D())
+	}
+	for k := 0; k < g.D(); k++ {
+		if g.Halo[k] < gs.Slopes[k] {
+			return fmt.Errorf("core: grid halo %v < slopes %v", g.Halo, gs.Slopes)
+		}
+	}
+	if err := checkSchedule(sched, g.Dims, gs.Slopes); err != nil {
+		return err
+	}
+	return runND(g, gs, sched.steps, &sched.cfg, sched.regions, pool, stop)
+}
+
+func runND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, regions []Region, pool *par.Pool, stop *atomic.Bool) error {
 	flat := gs.FlatOffsets(g.Strides)
 	d := g.D()
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range regions {
+		if stopped(stop) {
+			return ErrStopped
+		}
 		r := r
 		sp := beginRegion()
 		// Grouped dispatch only (no bounds hoisting): the generic

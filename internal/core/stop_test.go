@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"tessellate/internal/grid"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+)
+
+// A pre-set stop flag must abort a scheduled run at the first region
+// boundary: ErrStopped comes back, and the grid's Step is not advanced
+// (the run never completed, so its result must not masquerade as one).
+func TestRunScheduledStopAborts(t *testing.T) {
+	s := stencil.Heat2D
+	n := []int{64, 48}
+	cfg := DefaultConfig(n, s.Slopes)
+	const steps = 9
+	sched, err := NewSchedule(&cfg, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := par.NewPool(2)
+	defer pool.Close()
+
+	g := grid.NewGrid2D(n[0], n[1], 1, 1)
+	seedGrid2D(g, 7)
+
+	var stop atomic.Bool
+	stop.Store(true)
+	if err := RunScheduled2DStop(g, s, sched, pool, &stop); !errors.Is(err, ErrStopped) {
+		t.Fatalf("pre-stopped run returned %v, want ErrStopped", err)
+	}
+	if g.Step != 0 {
+		t.Fatalf("aborted run advanced Step to %d", g.Step)
+	}
+}
+
+// With the flag never set, the Stop variants must be bitwise identical
+// to their plain counterparts (the nil fast path and the loaded-flag
+// path share every numeric operation).
+func TestRunScheduledStopNilEquivalent(t *testing.T) {
+	s := stencil.Heat2D
+	n := []int{64, 48}
+	cfg := DefaultConfig(n, s.Slopes)
+	const steps = 9
+	sched, err := NewSchedule(&cfg, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := par.NewPool(2)
+	defer pool.Close()
+
+	ref := grid.NewGrid2D(n[0], n[1], 1, 1)
+	seedGrid2D(ref, 7)
+	if err := RunScheduled2D(ref, s, sched, pool); err != nil {
+		t.Fatal(err)
+	}
+
+	got := grid.NewGrid2D(n[0], n[1], 1, 1)
+	seedGrid2D(got, 7)
+	var stop atomic.Bool
+	if err := RunScheduled2DStop(got, s, sched, pool, &stop); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < n[0]; x++ {
+		for y := 0; y < n[1]; y++ {
+			if got.At(x, y) != ref.At(x, y) {
+				t.Fatalf("stop-variant diverges at (%d,%d): %v != %v", x, y, got.At(x, y), ref.At(x, y))
+			}
+		}
+	}
+}

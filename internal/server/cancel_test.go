@@ -1,0 +1,141 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// A client disconnect while its job is still queued must remove the
+// job: it never reaches an engine, its admission slot frees, and it
+// lands in the canceled terminal state (not completed, not error).
+func TestDisconnectCancelsQueuedJob(t *testing.T) {
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1, TenantQueueDepth: 8, ResultCacheSize: -1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	post := func(ctx context.Context, req JobRequest) (chan error, context.CancelFunc) {
+		ctx, cancel := context.WithCancel(ctx)
+		body, _ := json.Marshal(&req)
+		hr, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+			"http://"+s.Addr()+"/v1/jobs", bytes.NewReader(body))
+		hr.Header.Set("Content-Type", "application/json")
+		errc := make(chan error, 1)
+		go func() {
+			resp, err := http.DefaultClient.Do(hr)
+			if err == nil {
+				resp.Body.Close()
+			}
+			errc <- err
+		}()
+		return errc, cancel
+	}
+
+	// Occupy the single engine with a long job (~1s on a slow machine)
+	// so the next one queues; it is canceled before it finishes.
+	longDone, cancelLong := post(context.Background(),
+		JobRequest{Tenant: "holder", Kernel: "heat-2d", N: []int{128, 128}, Steps: 65536, Seed: 1})
+	defer cancelLong()
+
+	// Wait for the long job to be running (accepted and out of the queue).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.accepted.Load() < 1 || s.fq.len() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("long job never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	victimDone, cancelVictim := post(context.Background(),
+		JobRequest{Tenant: "leaver", Kernel: "heat-2d", N: []int{128, 128}, Steps: 65536, Seed: 2})
+	for s.fq.tenantBacklog("leaver") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second job never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Disconnect the queued job's client; the server must cancel it
+	// without waiting for an engine.
+	cancelVictim()
+	if err := <-victimDone; err == nil {
+		t.Fatal("canceled request returned a response")
+	}
+	for s.canceled.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("job not canceled: canceled=%d", s.canceled.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.fq.tenantBacklog("leaver"); got != 0 {
+		t.Fatalf("canceled job still queued (backlog %d)", got)
+	}
+	if got := s.completed.Load(); got != 0 {
+		t.Fatalf("canceled job counted as completed (%d)", got)
+	}
+
+	// The engine must stay healthy: cancel the long job too (covers the
+	// running-job cooperative path over HTTP) and verify a fresh job
+	// still completes.
+	cancelLong()
+	<-longDone
+	for s.canceled.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("running job not canceled: canceled=%d", s.canceled.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res := submit(t, s, JobRequest{Kernel: "heat-2d", N: []int{64, 64}, Steps: 8, Seed: 3})
+	if res.Checksum == 0 {
+		t.Fatal("post-cancel job returned zero checksum")
+	}
+}
+
+// Setting the cooperative stop flag on a running job must abort it at
+// the next region boundary: the job lands in the canceled state with
+// errCanceled, the engine frees, and subsequent jobs are unaffected.
+func TestStopFlagAbortsRunningJob(t *testing.T) {
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1, ResultCacheSize: -1})
+	defer s.Close()
+
+	// Enough steps that the schedule has many regions and the run lasts
+	// long enough to observe it running.
+	j := buildJob(t, s, JobRequest{Kernel: "heat-2d", N: []int{128, 128}, Steps: 4096, Seed: 9})
+	if err := s.enqueue(j); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.state.Load() != jobRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never claimed by the engine")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	j.stop.Store(true)
+	select {
+	case <-j.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stopped job did not finish")
+	}
+	if j.err != errCanceled {
+		t.Fatalf("stopped job error = %v, want errCanceled", j.err)
+	}
+	if s.canceled.Load() != 1 || s.completed.Load() != 0 {
+		t.Fatalf("canceled=%d completed=%d, want 1/0", s.canceled.Load(), s.completed.Load())
+	}
+	// Timing fields are populated even on the canceled path.
+	if j.res.RunSeconds <= 0 || j.res.Engine != 0 {
+		t.Fatalf("canceled job missing timing: %+v", j.res)
+	}
+
+	// The engine and its arena must be reusable after the abort.
+	res := submit(t, s, JobRequest{Kernel: "heat-2d", N: []int{128, 128}, Steps: 8, Seed: 10})
+	if res.Checksum == 0 {
+		t.Fatal("post-abort job returned zero checksum")
+	}
+}

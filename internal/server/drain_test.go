@@ -39,17 +39,27 @@ func TestShutdownDrainsQueueAndLeaksNothing(t *testing.T) {
 	}
 
 	// Admit several slow-ish jobs; their responses must all arrive
-	// even though Shutdown starts while most are still queued.
+	// even though Shutdown starts while most are still queued. Each job
+	// gets a distinct seed so none is served from the deterministic
+	// result cache — the drain guarantee is about queued work.
 	const jobs = 4
-	req := JobRequest{Kernel: "heat-2d", N: []int{128, 128}, Steps: 300}
-	body, _ := json.Marshal(&req)
+	bodies := make([][]byte, jobs)
+	for i := range bodies {
+		req := JobRequest{Kernel: "heat-2d", N: []int{128, 128}, Steps: 300, Seed: int64(i + 1)}
+		bodies[i], _ = json.Marshal(&req)
+	}
+	// The mid-drain probe needs a cache-missing seed: a draining server
+	// still answers repeat jobs from the result cache (no engine work),
+	// and the probe asserts the queue refusal, not the cache.
+	probe := JobRequest{Kernel: "heat-2d", N: []int{128, 128}, Steps: 300, Seed: 99}
+	body, _ := json.Marshal(&probe)
 	statuses := make([]int, jobs)
 	var wg sync.WaitGroup
 	for i := 0; i < jobs; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", bytes.NewReader(body))
+			resp, err := http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", bytes.NewReader(bodies[i]))
 			if err != nil {
 				return
 			}

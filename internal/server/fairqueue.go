@@ -1,0 +1,247 @@
+package server
+
+import (
+	"sync"
+)
+
+// Weighted fair admission. PR 6 used one shared FIFO channel, which
+// let a single flooding tenant fill the queue and starve everyone
+// else: admission failures were global ("the queue is full") and
+// service order was arrival order. fairQueue replaces it with one
+// bounded sub-queue per tenant drained by deficit round robin (DRR):
+//
+//   - Admission is bounded per tenant, so a flooding tenant gets its
+//     own 429s while other tenants' jobs are still admitted.
+//   - Engines pull jobs via DRR over the tenants that currently have
+//     queued work: each visit tops a tenant's deficit counter up by
+//     quantum x weight, and the tenant is served while the deficit
+//     covers the head job's cost (cost = points x steps, the work an
+//     engine will actually do). Long-run service is therefore
+//     proportional to configured weights regardless of arrival rates.
+//   - The quantum is the largest job cost seen, the classic DRR choice
+//     that guarantees every visited tenant can afford its head job
+//     after one top-up — pop does at most one full ring scan.
+//
+// A job canceled while queued (client disconnect) is unlinked
+// logically at cancel time (its slot frees immediately for admission)
+// and skipped physically when its sub-queue head reaches it.
+
+// job lifecycle states (job.state).
+const (
+	jobQueued int32 = iota
+	jobRunning
+	jobCanceled
+)
+
+// tenantQueue is one tenant's bounded FIFO plus its DRR accounting.
+type tenantQueue struct {
+	name    string
+	weight  int64
+	deficit int64
+	jobs    []*job // FIFO; canceled entries are skipped on pop
+	live    int    // queued, not-canceled jobs (the admission bound)
+	active  bool   // member of fairQueue.ring
+}
+
+// fairQueue is the multi-tenant admission scheduler. All fields are
+// guarded by mu; pop blocks on cond until work arrives or the queue is
+// closed (and then keeps returning queued jobs until empty — the
+// graceful-drain guarantee the old `for range channel` loop gave).
+type fairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	closed  bool
+	depth   int            // per-tenant sub-queue bound
+	weights map[string]int // configured weights; absent = 1
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue // tenants with queued work, DRR order
+	next    int            // DRR cursor into ring
+	fresh   bool           // cursor just arrived at ring[next] (top-up due)
+	quantum int64          // max job cost seen (DRR quantum)
+	queued  int            // total live jobs across all tenants
+}
+
+func newFairQueue(depth int, weights map[string]int) *fairQueue {
+	fq := &fairQueue{
+		depth:   depth,
+		weights: weights,
+		tenants: make(map[string]*tenantQueue),
+		quantum: 1,
+		fresh:   true,
+	}
+	fq.cond = sync.NewCond(&fq.mu)
+	return fq
+}
+
+// push admits a job to its tenant's sub-queue, refusing with
+// errDraining after close and errQueueFull when that tenant's bound is
+// reached (other tenants are unaffected — the per-tenant 429).
+func (fq *fairQueue) push(j *job) error {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	if fq.closed {
+		return errDraining
+	}
+	tq := fq.tenants[j.tenant]
+	if tq == nil {
+		w := int64(1)
+		if cw, ok := fq.weights[j.tenant]; ok && cw > 0 {
+			w = int64(cw)
+		}
+		tq = &tenantQueue{name: j.tenant, weight: w}
+		fq.tenants[j.tenant] = tq
+	}
+	if tq.live >= fq.depth {
+		return errQueueFull
+	}
+	tq.jobs = append(tq.jobs, j)
+	tq.live++
+	fq.queued++
+	if j.cost > fq.quantum {
+		fq.quantum = j.cost
+	}
+	if !tq.active {
+		// (Re-)activation starts with an empty deficit: an idle tenant
+		// banks no credit, so it cannot burst past its weight later.
+		tq.active = true
+		tq.deficit = 0
+		fq.ring = append(fq.ring, tq)
+	}
+	fq.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available (returning it with its state
+// claimed as running) or until the queue is closed and drained
+// (returning false).
+func (fq *fairQueue) pop() (*job, bool) {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	for {
+		for fq.queued == 0 {
+			if fq.closed {
+				return nil, false
+			}
+			fq.cond.Wait()
+		}
+		if j := fq.selectLocked(); j != nil {
+			return j, true
+		}
+	}
+}
+
+// selectLocked runs one DRR selection over the active ring. It
+// returns nil only if every ringed job turned out to be canceled
+// (queued was already decremented at cancel time, so the pop loop
+// re-evaluates).
+//
+// The deficit top-up happens exactly once per visit — when the cursor
+// first arrives at a tenant (fresh) — never again while it lingers.
+// Topping up on every affordability check instead would hand the
+// cursor's tenant unbounded credit and starve the rest of the ring
+// outright (strict priority, the exact failure DRR exists to prevent).
+func (fq *fairQueue) selectLocked() *job {
+	for len(fq.ring) > 0 {
+		if fq.next >= len(fq.ring) {
+			fq.next = 0
+			fq.fresh = true
+		}
+		tq := fq.ring[fq.next]
+		// Skip jobs canceled while queued; their accounting was
+		// settled by cancel.
+		for len(tq.jobs) > 0 && tq.jobs[0].state.Load() == jobCanceled {
+			tq.jobs[0] = nil
+			tq.jobs = tq.jobs[1:]
+		}
+		if len(tq.jobs) == 0 {
+			fq.deactivateLocked(fq.next)
+			fq.fresh = true
+			continue
+		}
+		if fq.fresh {
+			tq.deficit += fq.quantum * tq.weight
+			fq.fresh = false
+		}
+		head := tq.jobs[0]
+		if tq.deficit < head.cost {
+			// Visit exhausted: the remaining credit carries over to this
+			// tenant's next visit, the cursor moves on.
+			fq.next++
+			fq.fresh = true
+			continue
+		}
+		tq.deficit -= head.cost
+		tq.jobs[0] = nil
+		tq.jobs = tq.jobs[1:]
+		tq.live--
+		fq.queued--
+		if tq.live == 0 {
+			fq.deactivateLocked(fq.next)
+			fq.fresh = true
+		}
+		// Otherwise the cursor stays (not fresh): remaining deficit from
+		// this visit's single top-up keeps serving this tenant, which is
+		// what makes per-round service proportional to weight. quantum >=
+		// every job cost, so a fresh top-up always affords at least the
+		// head job — pop does at most one full ring scan.
+		head.state.Store(jobRunning)
+		return head
+	}
+	return nil
+}
+
+// deactivateLocked removes ring[i], keeping cursor order stable.
+func (fq *fairQueue) deactivateLocked(i int) {
+	tq := fq.ring[i]
+	tq.active = false
+	tq.deficit = 0
+	tq.jobs = nil
+	fq.ring = append(fq.ring[:i], fq.ring[i+1:]...)
+	if fq.next > i {
+		fq.next--
+	}
+}
+
+// cancel removes a queued job on client disconnect. It reports true
+// if the job had not yet been claimed by an engine — the caller then
+// owns finalization (metrics, closing done). A false return means the
+// job is already running; the caller should set the cooperative stop
+// flag instead.
+func (fq *fairQueue) cancel(j *job) bool {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	if !j.state.CompareAndSwap(jobQueued, jobCanceled) {
+		return false
+	}
+	if tq := fq.tenants[j.tenant]; tq != nil && tq.active {
+		tq.live--
+	}
+	fq.queued--
+	return true
+}
+
+// close stops admission; queued jobs continue to drain through pop.
+func (fq *fairQueue) close() {
+	fq.mu.Lock()
+	fq.closed = true
+	fq.mu.Unlock()
+	fq.cond.Broadcast()
+}
+
+// len returns the total number of queued (live) jobs.
+func (fq *fairQueue) len() int {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	return fq.queued
+}
+
+// tenantBacklog returns the queued job count for one tenant.
+func (fq *fairQueue) tenantBacklog(tenant string) int {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	if tq := fq.tenants[tenant]; tq != nil {
+		return tq.live
+	}
+	return 0
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"testing"
+)
+
+func fqJob(tenant string, cost int64) *job {
+	return &job{tenant: tenant, cost: cost, done: make(chan struct{})}
+}
+
+// mustPop pops with the guarantee that work is available (the tests
+// below only pop as many jobs as they pushed).
+func mustPop(t *testing.T, fq *fairQueue) *job {
+	t.Helper()
+	j, ok := fq.pop()
+	if !ok {
+		t.Fatal("pop returned closed with jobs still queued")
+	}
+	return j
+}
+
+func TestFairQueueFIFOWithinTenant(t *testing.T) {
+	fq := newFairQueue(8, nil)
+	jobs := []*job{fqJob("a", 1), fqJob("a", 1), fqJob("a", 1)}
+	for _, j := range jobs {
+		if err := fq.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range jobs {
+		if got := mustPop(t, fq); got != want {
+			t.Fatalf("pop %d broke tenant FIFO order", i)
+		}
+	}
+}
+
+// Equal-weight tenants with equal-cost jobs must be served
+// alternately, regardless of arrival order: tenant a's whole burst
+// arrives before any of b's, yet b is not served last.
+func TestFairQueueInterleavesTenants(t *testing.T) {
+	fq := newFairQueue(8, nil)
+	const per = 4
+	for i := 0; i < per; i++ {
+		if err := fq.push(fqJob("a", 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < per; i++ {
+		if err := fq.push(fqJob("b", 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	for i := 0; i < 2*per; i++ {
+		order = append(order, mustPop(t, fq).tenant)
+	}
+	for i := 0; i+1 < len(order); i += 2 {
+		if order[i] == order[i+1] {
+			t.Fatalf("equal-weight tenants not interleaved: %v", order)
+		}
+	}
+}
+
+// A weight-3 tenant must receive three times the service of a weight-1
+// tenant per round while both are backlogged.
+func TestFairQueueWeights(t *testing.T) {
+	fq := newFairQueue(16, map[string]int{"gold": 3})
+	for i := 0; i < 6; i++ {
+		if err := fq.push(fqJob("gold", 5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := fq.push(fqJob("bronze", 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First full round: gold's visit affords 3 jobs, bronze's 1.
+	var gold, bronze int
+	for i := 0; i < 4; i++ {
+		switch mustPop(t, fq).tenant {
+		case "gold":
+			gold++
+		case "bronze":
+			bronze++
+		}
+	}
+	if gold != 3 || bronze != 1 {
+		t.Fatalf("first round served gold=%d bronze=%d, want 3/1", gold, bronze)
+	}
+}
+
+// Admission is bounded per tenant: one tenant filling its sub-queue
+// must not affect another tenant's admission.
+func TestFairQueuePerTenantBound(t *testing.T) {
+	fq := newFairQueue(2, nil)
+	if err := fq.push(fqJob("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fq.push(fqJob("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fq.push(fqJob("a", 1)); err != errQueueFull {
+		t.Fatalf("third job for a full tenant: %v, want errQueueFull", err)
+	}
+	if err := fq.push(fqJob("b", 1)); err != nil {
+		t.Fatalf("other tenant refused while a is full: %v", err)
+	}
+}
+
+// close stops admission but pop keeps draining the admitted backlog,
+// then reports closed.
+func TestFairQueueCloseDrains(t *testing.T) {
+	fq := newFairQueue(8, nil)
+	for i := 0; i < 3; i++ {
+		if err := fq.push(fqJob("a", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fq.close()
+	if err := fq.push(fqJob("a", 1)); err != errDraining {
+		t.Fatalf("push after close: %v, want errDraining", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := fq.pop(); !ok {
+			t.Fatalf("pop %d returned closed with backlog remaining", i)
+		}
+	}
+	if j, ok := fq.pop(); ok {
+		t.Fatalf("pop after drain returned job %v", j)
+	}
+}
+
+// cancel unlinks a queued job (freeing its admission slot immediately)
+// and refuses once an engine has claimed the job.
+func TestFairQueueCancel(t *testing.T) {
+	fq := newFairQueue(2, nil)
+	j1, j2 := fqJob("a", 1), fqJob("a", 1)
+	if err := fq.push(j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fq.push(j2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fq.push(fqJob("a", 1)); err != errQueueFull {
+		t.Fatalf("full tenant admitted: %v", err)
+	}
+	if !fq.cancel(j1) {
+		t.Fatal("cancel of a queued job refused")
+	}
+	if fq.len() != 1 {
+		t.Fatalf("len after cancel = %d, want 1", fq.len())
+	}
+	// The freed slot admits a new job without j1 ever being served.
+	j3 := fqJob("a", 1)
+	if err := fq.push(j3); err != nil {
+		t.Fatalf("slot not freed by cancel: %v", err)
+	}
+	if got := mustPop(t, fq); got != j2 {
+		t.Fatal("canceled job was served")
+	}
+	if fq.cancel(j2) {
+		t.Fatal("cancel of a running job reported queued")
+	}
+	if got := mustPop(t, fq); got != j3 {
+		t.Fatal("expected j3 after j2")
+	}
+}
+
+// The quantum tracks the largest admitted cost, so a visited tenant
+// can always afford its head job after one top-up — a cheap-job tenant
+// must not be able to lock out a tenant with expensive jobs.
+func TestFairQueueLargeJobsNotLockedOut(t *testing.T) {
+	fq := newFairQueue(8, nil)
+	for i := 0; i < 4; i++ {
+		if err := fq.push(fqJob("cheap", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fq.push(fqJob("big", 1000)); err != nil {
+		t.Fatal(err)
+	}
+	// One visit hands the cheap tenant quantum (1000) cost-units, so
+	// its whole backlog (4 jobs) may precede the big job — but the big
+	// job must be served the moment that visit ends: after at most one
+	// full visit per competing tenant, never locked out indefinitely.
+	for i := 0; i < 5; i++ {
+		if mustPop(t, fq).tenant == "big" {
+			return
+		}
+	}
+	t.Fatal("big-cost tenant not served within one DRR round")
+}

@@ -36,7 +36,12 @@ func (s *Server) mux() *http.ServeMux {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Err(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "listener failed: " + err.Error()})
+		return
+	}
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.drainRetryAfter()))
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
 		return
 	}
@@ -48,32 +53,49 @@ type statsBody struct {
 	Engines          int    `json:"engines"`
 	ThreadsPerEngine int    `json:"threads_per_engine"`
 	QueueDepth       int    `json:"queue_depth"`
-	QueueCap         int    `json:"queue_cap"`
+	TenantQueueCap   int    `json:"tenant_queue_cap"`
+	Tenants          int    `json:"tenants"`
+	MaxTenants       int    `json:"max_tenants"`
 	Draining         bool   `json:"draining"`
 	Accepted         uint64 `json:"jobs_accepted"`
 	Rejected         uint64 `json:"jobs_rejected"`
 	Completed        uint64 `json:"jobs_completed"`
+	Canceled         uint64 `json:"jobs_canceled"`
 	SchedCacheLen    int    `json:"sched_cache_len"`
 	SchedCacheHits   uint64 `json:"sched_cache_hits"`
 	SchedCacheMisses uint64 `json:"sched_cache_misses"`
+	ResultCacheLen   int    `json:"result_cache_len"`
+	ResultCacheHits  uint64 `json:"result_cache_hits"`
+	ResultCacheMiss  uint64 `json:"result_cache_misses"`
+	ResultCacheEvict uint64 `json:"result_cache_evictions"`
 	ArenaHits        uint64 `json:"arena_hits"`
 	ArenaMisses      uint64 `json:"arena_misses"`
 	ArenaPooled      int    `json:"arena_pooled"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.tmu.RLock()
+	tenants := len(s.tenants)
+	s.tmu.RUnlock()
 	b := statsBody{
 		Engines:          len(s.engines),
 		ThreadsPerEngine: s.cfg.ThreadsPerEngine,
-		QueueDepth:       len(s.queue),
-		QueueCap:         cap(s.queue),
+		QueueDepth:       s.fq.len(),
+		TenantQueueCap:   s.cfg.TenantQueueDepth,
+		Tenants:          tenants,
+		MaxTenants:       s.cfg.MaxTenants,
 		Draining:         s.draining.Load(),
 		Accepted:         s.accepted.Load(),
 		Rejected:         s.rejected.Load(),
 		Completed:        s.completed.Load(),
+		Canceled:         s.canceled.Load(),
 		SchedCacheLen:    s.sched.Len(),
 	}
 	b.SchedCacheHits, b.SchedCacheMisses = s.sched.Stats()
+	if s.rcache != nil {
+		b.ResultCacheLen = s.rcache.len()
+		b.ResultCacheHits, b.ResultCacheMiss, b.ResultCacheEvict = s.rcache.stats()
+	}
 	for _, e := range s.engines {
 		h, m := e.arena.Stats()
 		b.ArenaHits += h
@@ -94,13 +116,15 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		// No tenant metrics here: an undecodable body has no trusted
+		// tenant field, and minting a metric child from whatever bytes
+		// happened to parse would let garbage traffic grow the
+		// exposition. The global rejected counter still moves.
 		s.rejected.Add(1)
-		s.tenantMetrics(sanitizeTenant(req.Tenant)).rejInvalid.Inc()
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
-	tenant := sanitizeTenant(req.Tenant)
-	tm := s.tenantMetrics(tenant)
+	tenant, tm := s.tenant(req.Tenant)
 
 	spec, gen, err := s.resolve(&req)
 	if err != nil {
@@ -125,42 +149,87 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
+
+	stream := req.Stream || req.Values
+
+	// Deterministic result cache: a repeat of an already-served
+	// simulation is answered from the checksum cache without queueing
+	// or executing. values:true bypasses the lookup (the client wants
+	// the grid, which is not cached), but still inserts on completion.
+	if s.rcache != nil && !req.Values && j.ckey != "" {
+		if sum, ok := s.rcache.get(j.ckey); ok {
+			j.res = JobResult{
+				JobID:    "j-" + strconv.FormatUint(j.id, 10),
+				Tenant:   tenant,
+				Kernel:   req.Kernel,
+				N:        req.N,
+				Steps:    req.Steps,
+				Engine:   -1,
+				Checksum: sum,
+				Updates:  j.cost, // cost is points x steps
+				Cached:   true,
+			}
+			if stream {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				_ = json.NewEncoder(w).Encode(map[string]any{"event": "result", "result": &j.res})
+				return
+			}
+			writeJSON(w, http.StatusOK, &j.res)
+			return
+		}
+	}
+
 	switch err := s.enqueue(j); err {
 	case nil:
 	case errDraining:
 		s.rejected.Add(1)
 		tm.rejDraining.Inc()
+		// Draining is transient: the drain estimate tells well-behaved
+		// clients when a restarted server is likely to accept again.
+		w.Header().Set("Retry-After", strconv.Itoa(s.drainRetryAfter()))
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	default: // errQueueFull
 		s.rejected.Add(1)
 		tm.rejQueueFull.Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(tenant)))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		return
 	}
 	s.accepted.Add(1)
 	tm.accepted.Inc()
 
-	stream := req.Stream || req.Values
 	var enc *json.Encoder
 	if stream {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc = json.NewEncoder(w)
 		_ = enc.Encode(map[string]any{
 			"event": "queued", "job_id": "j-" + strconv.FormatUint(j.id, 10),
-			"queue_depth": len(s.queue),
+			"queue_depth": s.fq.len(),
 		})
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()
 		}
 	}
 
-	// The job is queued: an engine will run it even if the client goes
-	// away, so only wait on done (bounded by the queue drain).
-	<-j.done
+	// Wait for the engine — or for the client to go away. A disconnect
+	// while the job is still queued unlinks it from the fair queue (its
+	// slot frees immediately); a disconnect mid-run sets the cooperative
+	// stop flag, which the executors honor at the next region boundary.
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		if !s.cancelQueued(j, tm) {
+			j.stop.Store(true)
+			<-j.done
+		}
+	}
 	if j.release != nil {
 		defer j.release()
+	}
+	if j.err == errCanceled {
+		// The client is gone; nothing to write.
+		return
 	}
 	if j.err != nil {
 		if stream {

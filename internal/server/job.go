@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"tessellate/internal/core"
@@ -83,6 +84,10 @@ type JobResult struct {
 	RunSeconds float64 `json:"run_seconds"`
 	// MLUPs is Updates/RunSeconds in millions.
 	MLUPs float64 `json:"mlups"`
+	// Cached reports that the checksum was served from the
+	// deterministic result cache without executing the job (Engine is
+	// -1 and the timing fields are zero in that case).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // MaxValuePoints bounds the grid size a job may stream back values
@@ -93,11 +98,21 @@ const MaxValuePoints = 1 << 18
 type job struct {
 	req      JobRequest
 	id       uint64
-	tenant   string           // sanitized metric label
+	tenant   string           // sanitized + interned metric label
 	spec     *stencil.Spec    // built-in path (rank 1-3)
 	gen      *stencil.Generic // generic path (any rank)
 	sched    *core.Schedule   // resolved at admission (see prepare)
+	cost     int64            // DRR service cost: points x steps, >= 1
+	ckey     string           // result-cache key (set in prepare)
 	enqueued time.Time
+
+	// state tracks the queued -> running / queued -> canceled
+	// transition; both transitions happen under the fair queue's mutex,
+	// so exactly one side wins. stop is the cooperative cancel flag a
+	// disconnect sets for an already-running job; the executors check
+	// it between schedule replay regions.
+	state atomic.Int32
+	stop  atomic.Bool
 
 	done chan struct{} // closed when res/err are final
 	res  JobResult
@@ -180,7 +195,8 @@ func (s *Server) resolve(req *JobRequest) (*stencil.Spec, *stencil.Generic, erro
 // 400, before the job ever reaches the queue — engine-side errors stay
 // reserved for genuine internal failures. The schedule comes from the
 // shared cache, so warm shapes pay one lookup and cold shapes are
-// built off the engines' serving path.
+// built off the engines' serving path. prepare also fixes the job's
+// DRR service cost and its deterministic result-cache key.
 func (s *Server) prepare(j *job) error {
 	var slopes []int
 	if j.spec != nil {
@@ -194,7 +210,32 @@ func (s *Server) prepare(j *job) error {
 		return err
 	}
 	j.sched = sched
+	cost := int64(1)
+	for _, nk := range j.req.N {
+		cost *= int64(nk) // admission bounded the product, no overflow
+	}
+	cost *= int64(j.req.Steps)
+	if cost < 1 {
+		cost = 1
+	}
+	j.cost = cost
+	if s.rcache != nil {
+		j.ckey = resultKey(&j.req, j.order(), j.boundary())
+	}
 	return nil
+}
+
+// order returns the job's effective stencil order for the result-cache
+// key: 0 for built-in specs (the name fixes the stencil), the resolved
+// order for generic star/box kernels (where 0 defaults to 1).
+func (j *job) order() int {
+	if j.spec != nil {
+		return 0
+	}
+	if j.req.Order == 0 {
+		return 1
+	}
+	return j.req.Order
 }
 
 func validateOptions(o *JobOptions, dims int) error {

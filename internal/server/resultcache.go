@@ -1,0 +1,155 @@
+package server
+
+import (
+	"container/list"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"tessellate/internal/telemetry"
+)
+
+// Deterministic result cache. The tessellation's inter-block
+// dependency order fixes the update sequence (paper §3), so the served
+// checksum is a pure function of (kernel, order, n, steps, seed,
+// boundary) — independent of tiling options, engine, thread count or
+// scheduling. Bitwise-identical repeat jobs can therefore skip
+// execution entirely and be answered from a tiny checksum-only cache.
+// Tiling options are deliberately NOT part of the key: two requests
+// for the same simulation with different BT/Big produce the same
+// result, and both hit the same entry.
+//
+// The cache is a bounded LRU with a byte cap, mirroring grid.Arena's
+// twin-bound eviction (entry count + total bytes): hostile tenants
+// cycling distinct shapes evict oldest-first and can never pin
+// unbounded memory. values:true requests bypass lookups (the client
+// wants the grid, which is not cached), but their checksums are still
+// inserted on completion.
+
+// DefaultResultCacheSize bounds a zero-configured result cache's entry
+// count; entries are ~100 B, so the default worst case is ~400 KB.
+const DefaultResultCacheSize = 4096
+
+// DefaultResultCacheBytes bounds a zero-configured result cache's
+// total memory (keys + entry overhead).
+const DefaultResultCacheBytes int64 = 1 << 20
+
+// rcEntryOverhead approximates the per-entry bookkeeping cost beyond
+// the key string: list element, map bucket share, entry struct.
+const rcEntryOverhead = 96
+
+type rcEntry struct {
+	key string
+	sum float64
+}
+
+// resultCache is a byte-capped LRU of job checksums. Safe for
+// concurrent use.
+type resultCache struct {
+	mu         sync.Mutex
+	m          map[string]*list.Element
+	lru        *list.List // front = most recently used
+	bytes      int64
+	maxBytes   int64
+	maxEntries int
+
+	hits, misses, evictions atomic.Uint64
+}
+
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultResultCacheSize
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultResultCacheBytes
+	}
+	return &resultCache{
+		m:          make(map[string]*list.Element),
+		lru:        list.New(),
+		maxBytes:   maxBytes,
+		maxEntries: maxEntries,
+	}
+}
+
+// resultKey renders a job's deterministic identity. Built with strconv
+// appends like core.scheduleKey so a lookup costs one small
+// allocation. The boundary is keyed by its exact bit pattern: two
+// boundaries that differ in any bit are different simulations.
+func resultKey(req *JobRequest, order int, boundary float64) string {
+	b := make([]byte, 0, 96)
+	b = append(b, req.Kernel...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(order), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(req.Steps), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, req.Seed, 10)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, math.Float64bits(boundary), 16)
+	for _, nk := range req.N {
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(nk), 10)
+	}
+	return string(b)
+}
+
+// get returns the cached checksum for key, refreshing its recency.
+func (c *resultCache) get(key string) (float64, bool) {
+	c.mu.Lock()
+	el, ok := c.m[key]
+	if ok {
+		c.lru.MoveToFront(el)
+		sum := el.Value.(*rcEntry).sum
+		c.mu.Unlock()
+		c.hits.Add(1)
+		telemetry.ResultCacheHit.Inc()
+		return sum, true
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	telemetry.ResultCacheMiss.Inc()
+	return 0, false
+}
+
+// put inserts (or refreshes) a checksum, evicting least-recently-used
+// entries until both the entry and byte bounds hold.
+func (c *resultCache) put(key string, sum float64) {
+	size := int64(len(key)) + rcEntryOverhead
+	if size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		// Deterministic results never change; refresh recency only.
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.m[key] = c.lru.PushFront(&rcEntry{key: key, sum: sum})
+	c.bytes += size
+	for c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		back := c.lru.Back()
+		e := back.Value.(*rcEntry)
+		c.lru.Remove(back)
+		delete(c.m, e.key)
+		c.bytes -= int64(len(e.key)) + rcEntryOverhead
+		c.evictions.Add(1)
+		telemetry.ResultCacheEvictions.Inc()
+	}
+	n := c.lru.Len()
+	c.mu.Unlock()
+	telemetry.ResultCacheEntries.Set(float64(n))
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// stats returns lifetime hit/miss/eviction counts.
+func (c *resultCache) stats() (hits, misses, evictions uint64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// Key identity: every field of the deterministic identity must change
+// the key; tiling options and tenant must NOT (same simulation, same
+// result).
+func TestResultKeyIdentity(t *testing.T) {
+	base := JobRequest{Kernel: "heat-2d", N: []int{64, 48}, Steps: 8, Seed: 7}
+	key := func(r JobRequest, order int, boundary float64) string {
+		return resultKey(&r, order, boundary)
+	}
+	k0 := key(base, 0, 1)
+
+	distinct := map[string]string{}
+	add := func(name, k string) {
+		if k == k0 {
+			t.Fatalf("%s did not change the key", name)
+		}
+		if prev, ok := distinct[k]; ok {
+			t.Fatalf("%s collides with %s", name, prev)
+		}
+		distinct[k] = name
+	}
+	r := base
+	r.Kernel = "2d9p"
+	add("kernel", key(r, 0, 1))
+	r = base
+	r.Steps = 9
+	add("steps", key(r, 0, 1))
+	r = base
+	r.Seed = 8
+	add("seed", key(r, 0, 1))
+	r = base
+	r.N = []int{48, 64} // same points, different shape
+	add("shape", key(r, 0, 1))
+	add("order", key(base, 2, 1))
+	add("boundary", key(base, 0, 0))
+
+	// Tiling options and tenant are deliberately not keyed: they change
+	// how the simulation is executed, never its result.
+	r = base
+	r.Tenant = "someone-else"
+	r.Options = JobOptions{TimeTile: 2, NoMerge: true}
+	if key(r, 0, 1) != k0 {
+		t.Fatal("options/tenant changed the result key")
+	}
+}
+
+// LRU + byte-cap eviction, mirroring grid.Arena's twin bounds.
+func TestResultCacheEviction(t *testing.T) {
+	c := newResultCache(2, 1<<20)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently-used entry a evicted")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+
+	// Byte bound: entries cost len(key)+overhead, so a small byte cap
+	// evicts even below the entry cap.
+	small := newResultCache(100, 2*(rcEntryOverhead+1))
+	small.put("x", 1)
+	small.put("y", 2)
+	small.put("z", 3)
+	if small.len() > 2 {
+		t.Fatalf("byte cap not enforced: %d entries", small.len())
+	}
+	// An entry larger than the whole cache is refused outright.
+	huge := string(make([]byte, 3*rcEntryOverhead))
+	small.put(huge, 4)
+	if _, ok := small.get(huge); ok {
+		t.Fatal("oversized entry admitted")
+	}
+}
+
+// A repeated job must be served from the cache: bitwise-equal
+// checksum, no execution (the completed counter does not move), and
+// the response marked cached with no engine attribution.
+func TestRepeatJobServedFromCache(t *testing.T) {
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	req := JobRequest{Tenant: "rc", Kernel: "heat-2d", N: []int{96, 96}, Steps: 12, Seed: 77}
+	body, _ := json.Marshal(&req)
+	post := func() JobResult {
+		t.Helper()
+		resp, err := http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var res JobResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := post()
+	if first.Cached || first.Engine < 0 {
+		t.Fatalf("first run unexpectedly cached: %+v", first)
+	}
+	executed := s.completed.Load()
+
+	second := post()
+	if !second.Cached || second.Engine != -1 {
+		t.Fatalf("repeat not served from cache: %+v", second)
+	}
+	if second.Checksum != first.Checksum {
+		t.Fatalf("cached checksum %v != executed %v", second.Checksum, first.Checksum)
+	}
+	if got := s.completed.Load(); got != executed {
+		t.Fatalf("repeat job executed (completed %d -> %d)", executed, got)
+	}
+	hits, misses, _ := s.rcache.stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// values:true wants the grid, which is not cached: the job must
+// execute even when its checksum is already cached.
+func TestValuesRequestBypassesCache(t *testing.T) {
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	req := JobRequest{Tenant: "rc", Kernel: "heat-2d", N: []int{32, 32}, Steps: 4, Seed: 5}
+	submit(t, s, req)
+	executed := s.completed.Load()
+
+	req.Values = true
+	body, _ := json.Marshal(&req)
+	resp, err := http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var sawValues bool
+	for {
+		var ev map[string]any
+		if err := dec.Decode(&ev); err != nil {
+			break
+		}
+		if ev["event"] == "values" {
+			sawValues = true
+		}
+	}
+	if !sawValues {
+		t.Fatal("values request returned no values events")
+	}
+	if got := s.completed.Load(); got != executed+1 {
+		t.Fatalf("values request served from cache (completed %d -> %d)", executed, got)
+	}
+}
+
+// ResultCacheSize < 0 disables the cache entirely: repeats execute.
+func TestResultCacheDisabled(t *testing.T) {
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1, ResultCacheSize: -1})
+	defer s.Close()
+	if s.rcache != nil {
+		t.Fatal("cache built despite ResultCacheSize < 0")
+	}
+	req := JobRequest{Kernel: "heat-2d", N: []int{32, 32}, Steps: 4, Seed: 5}
+	a := submit(t, s, req)
+	b := submit(t, s, req)
+	if a.Checksum != b.Checksum {
+		t.Fatal("determinism broken without cache")
+	}
+	if s.completed.Load() != 2 {
+		t.Fatalf("completed %d, want 2 executions", s.completed.Load())
+	}
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tessellate/internal/stencil"
+)
+
+// Distinct tenant names are capped: beyond MaxTenants, new names
+// collapse into the "other" overflow label so hostile clients cannot
+// grow the metrics exposition or scheduler state without bound.
+// Already-interned tenants keep resolving to their own label.
+func TestTenantCardinalityCap(t *testing.T) {
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1, MaxTenants: 2})
+	defer s.Close()
+
+	a, _ := s.tenant("alice")
+	b, _ := s.tenant("bob")
+	if a != "alice" || b != "bob" {
+		t.Fatalf("tenants below the cap renamed: %q %q", a, b)
+	}
+	c, cm := s.tenant("carol")
+	if c != tenantOverflow {
+		t.Fatalf("tenant beyond cap = %q, want %q", c, tenantOverflow)
+	}
+	d, dm := s.tenant("dave")
+	if d != tenantOverflow || dm != cm {
+		t.Fatal("overflow tenants not collapsed into one shared label")
+	}
+	// Interned tenants are unaffected by the cap being reached.
+	if a2, _ := s.tenant("alice"); a2 != "alice" {
+		t.Fatalf("interned tenant lost its label: %q", a2)
+	}
+	// The map holds exactly cap + overflow entries, never more.
+	s.tmu.RLock()
+	n := len(s.tenants)
+	s.tmu.RUnlock()
+	if n != 3 {
+		t.Fatalf("tenant map holds %d entries, want 3 (2 + overflow)", n)
+	}
+
+	// End to end: a job from an over-cap tenant is accepted and counted
+	// under the overflow label.
+	res := submit(t, s, JobRequest{Tenant: "eve", Kernel: "heat-2d", N: []int{32, 32}, Steps: 2, Seed: 1})
+	if res.Checksum == 0 {
+		t.Fatal("overflow-tenant job failed")
+	}
+}
+
+// A broken listener must surface instead of dying silently: Err()
+// reports the Serve failure and /healthz flips to 503 so orchestrators
+// restart the process rather than routing to a server that accepts
+// nothing.
+func TestListenerFailureFlipsHealth(t *testing.T) {
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rec := httptest.NewRecorder()
+	s.handleHealth(rec, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy server reported %d", rec.Code)
+	}
+
+	// Kill the listener out from under Serve.
+	s.ln.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("Serve failure never recorded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rec = httptest.NewRecorder()
+	s.handleHealth(rec, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after listener failure = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "listener failed") {
+		t.Fatalf("healthz body missing failure cause: %s", rec.Body.String())
+	}
+}
+
+// Draining refusals must tell clients when to come back: both the jobs
+// endpoint and healthz carry a Retry-After header with a positive
+// seconds estimate.
+func TestDrainRefusalsCarryRetryAfter(t *testing.T) {
+	s := testServer(t, Config{Engines: 1, ThreadsPerEngine: 1})
+	s.draining.Store(true)
+
+	resp, _ := postJob(t, s, &JobRequest{Kernel: "heat-2d", N: []int{32, 32}, Steps: 2})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining jobs endpoint = %d, want 503", resp.StatusCode)
+	}
+	checkRetryAfter := func(resp *http.Response) {
+		t.Helper()
+		ra := resp.Header.Get("Retry-After")
+		if ra == "" {
+			t.Fatal("draining 503 without Retry-After")
+		}
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			t.Fatalf("Retry-After %q not a positive seconds count", ra)
+		}
+	}
+	checkRetryAfter(resp)
+
+	hr, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", hr.StatusCode)
+	}
+	checkRetryAfter(hr)
+	s.draining.Store(false)
+}
+
+// A failed run must still report where its time went: timing fields
+// populated on the job and the run folded into the Retry-After EWMA,
+// so an error storm cannot freeze the estimate at the last success.
+func TestErroredRunReportsTimingAndFeedsEwma(t *testing.T) {
+	s := New(Config{Engines: 1, ThreadsPerEngine: 1})
+	defer s.Close()
+	if s.ewmaRun.Load() != 0 {
+		t.Fatal("ewma non-zero before any run")
+	}
+
+	spec, err := stencil.ByName("heat-2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank-mismatched job (2D spec, 1D extents, no schedule): executing
+	// it panics inside the engine and surfaces as the job's error.
+	j := &job{
+		req:      JobRequest{Kernel: "heat-2d", N: []int{32}, Steps: 2},
+		id:       s.nextID.Add(1),
+		tenant:   "default",
+		spec:     spec,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	if err := s.enqueue(j); err != nil {
+		t.Fatal(err)
+	}
+	<-j.done
+	if j.err == nil {
+		t.Fatal("mismatched job succeeded")
+	}
+	if j.res.RunSeconds <= 0 || j.res.QueueSeconds < 0 || j.res.Engine != 0 {
+		t.Fatalf("errored job missing timing: %+v", j.res)
+	}
+	if ewma := math.Float64frombits(s.ewmaRun.Load()); ewma <= 0 {
+		t.Fatalf("errored run not folded into EWMA (%v)", ewma)
+	}
+}

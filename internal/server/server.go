@@ -31,10 +31,24 @@ type Config struct {
 	// ThreadsPerEngine is each lane's pool width
 	// (0 = NumCPU/Engines, at least 1).
 	ThreadsPerEngine int
-	// QueueDepth bounds the admission queue (0 = 4*Engines). A full
-	// queue sheds load with 429 + Retry-After instead of buffering
-	// without bound.
+	// QueueDepth is the default per-tenant admission bound when
+	// TenantQueueDepth is unset (0 = 4*Engines). Kept for
+	// compatibility with PR-6 configs, where it bounded the single
+	// shared queue.
 	QueueDepth int
+	// TenantQueueDepth bounds each tenant's admission sub-queue
+	// (0 = QueueDepth). A tenant whose sub-queue is full sheds its own
+	// load with 429 + Retry-After; other tenants are unaffected.
+	TenantQueueDepth int
+	// TenantWeights assigns deficit-round-robin service weights by
+	// (sanitized) tenant name; absent tenants weigh 1. A tenant with
+	// weight w receives w times the long-run engine service of a
+	// weight-1 tenant while both have queued work.
+	TenantWeights map[string]int
+	// MaxTenants bounds the number of distinct tenant labels tracked
+	// (metrics children + sub-queues); tenants beyond the cap collapse
+	// into the "other" label (0 = 1024).
+	MaxTenants int
 	// Pin pins engine workers to disjoint CPU slices (PartitionCPUs).
 	Pin bool
 	// Sticky enables sticky block->worker scheduling in each pool.
@@ -48,6 +62,12 @@ type Config struct {
 	// ScheduleCacheSize bounds the shared schedule cache
 	// (0 = core.DefaultScheduleCacheSize).
 	ScheduleCacheSize int
+	// ResultCacheSize bounds the deterministic result cache's entry
+	// count (0 = DefaultResultCacheSize, < 0 disables the cache).
+	ResultCacheSize int
+	// ResultCacheBytes bounds the result cache's total memory
+	// (0 = DefaultResultCacheBytes).
+	ResultCacheBytes int64
 	// ArenaDepth bounds each engine arena's per-length free list
 	// (0 = grid.DefaultArenaDepth).
 	ArenaDepth int
@@ -65,6 +85,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.Engines
+	}
+	if c.TenantQueueDepth <= 0 {
+		c.TenantQueueDepth = c.QueueDepth
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 1024
 	}
 	if c.MaxPoints <= 0 {
 		c.MaxPoints = 1 << 24
@@ -86,6 +112,11 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// tenantOverflow is the collapsed label for tenants beyond MaxTenants:
+// distinct hostile tenant names must not grow the metrics exposition
+// or the scheduler state without bound.
+const tenantOverflow = "other"
+
 // tenantMetrics caches one tenant's metric children so the hot path
 // never pays the label-join map lookup of Family.Counter.
 type tenantMetrics struct {
@@ -95,58 +126,83 @@ type tenantMetrics struct {
 	rejInvalid   *telemetry.Counter
 	completedOK  *telemetry.Counter
 	completedErr *telemetry.Counter
+	canceled     *telemetry.Counter
 	duration     *telemetry.Histogram
 }
 
+func newTenantMetrics(tenant string) *tenantMetrics {
+	return &tenantMetrics{
+		accepted:     telemetry.JobsAccepted.Counter(tenant),
+		rejQueueFull: telemetry.JobsRejected.Counter(tenant, "queue_full"),
+		rejDraining:  telemetry.JobsRejected.Counter(tenant, "draining"),
+		rejInvalid:   telemetry.JobsRejected.Counter(tenant, "invalid"),
+		completedOK:  telemetry.JobsCompleted.Counter(tenant, "ok"),
+		completedErr: telemetry.JobsCompleted.Counter(tenant, "error"),
+		canceled:     telemetry.JobsCanceled.Counter(tenant),
+		duration:     telemetry.JobDurationSeconds.Histogram(tenant),
+	}
+}
+
 // Server is the multi-tenant engine server. One Server owns its
-// engines, queue and HTTP listener; construct with New, run with
+// engines, fair queue and HTTP listener; construct with New, run with
 // Start, stop with Shutdown (graceful drain) or Close (immediate).
 type Server struct {
 	cfg     Config
 	sched   *core.ScheduleCache
+	rcache  *resultCache // nil when disabled
 	engines []*engine
-	queue   chan *job
+	fq      *fairQueue
 
-	// enqMu + draining close the shutdown race: enqueue sends under
-	// RLock after checking draining; Shutdown sets draining, takes the
-	// write lock, and only then closes the queue — so no send can hit
-	// a closed channel.
-	enqMu    sync.RWMutex
 	draining atomic.Bool
-
 	engineWG sync.WaitGroup
 	nextID   atomic.Uint64
 
 	// ewmaRun is the exponentially-weighted mean job run time in
-	// seconds (float64 bits), feeding the Retry-After estimate.
+	// seconds (float64 bits), feeding the Retry-After estimate. Both
+	// successful and failed runs fold in: during an error storm the
+	// engines are still busy for the observed time, and a stale
+	// estimate would tell clients to come back too soon.
 	ewmaRun atomic.Uint64
 
-	// accepted/rejected/completed mirror the tess_jobs_* counters for
-	// the /v1/stats endpoint (which must work even when telemetry
-	// metrics are disabled).
+	// accepted/rejected/completed/canceled mirror the tess_jobs_*
+	// counters for the /v1/stats endpoint (which must work even when
+	// telemetry metrics are disabled).
 	accepted  atomic.Uint64
 	rejected  atomic.Uint64
 	completed atomic.Uint64
+	canceled  atomic.Uint64
 
 	tmu     sync.RWMutex
 	tenants map[string]*tenantMetrics
+
+	// serveErr records an http.Server.Serve failure (broken listener):
+	// the server cannot accept work, so /healthz flips to 503 and
+	// Err() reports the cause instead of the failure being swallowed.
+	serveErr atomic.Value // error
 
 	ln net.Listener
 	hs *http.Server
 }
 
-// New builds a server: engines (pools pinned + arenas wired), queue
-// and schedule cache, but no listener yet. It enables the telemetry
-// subsystem: a server without /metrics is flying blind, and the gate
-// exists for offline library use, not serving.
+// New builds a server: engines (pools pinned + arenas wired), fair
+// queue, schedule and result caches, but no listener yet. It enables
+// the telemetry subsystem: a server without /metrics is flying blind,
+// and the gate exists for offline library use, not serving.
 func New(cfg Config) *Server {
 	cfg.setDefaults()
 	telemetry.Enable()
+	weights := make(map[string]int, len(cfg.TenantWeights))
+	for t, w := range cfg.TenantWeights {
+		weights[sanitizeTenant(t)] = w
+	}
 	s := &Server{
 		cfg:     cfg,
 		sched:   core.NewScheduleCache(cfg.ScheduleCacheSize),
-		queue:   make(chan *job, cfg.QueueDepth),
+		fq:      newFairQueue(cfg.TenantQueueDepth, weights),
 		tenants: make(map[string]*tenantMetrics),
+	}
+	if cfg.ResultCacheSize >= 0 {
+		s.rcache = newResultCache(cfg.ResultCacheSize, cfg.ResultCacheBytes)
 	}
 	s.engines = buildEngines(&s.cfg)
 	for _, e := range s.engines {
@@ -170,9 +226,12 @@ func (s *Server) Start() error {
 	s.hs = &http.Server{Handler: s.mux()}
 	go func() {
 		if err := s.hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			// Serve only fails this way on a broken listener; the
-			// engines keep draining and Shutdown still completes.
-			_ = err
+			// A post-bind listener failure leaves a server that accepts
+			// nothing: record it so Err() and /healthz report the
+			// condition instead of silently serving no one. The engines
+			// keep draining and Shutdown still completes.
+			s.serveErr.Store(err)
+			fmt.Fprintf(os.Stderr, "server: listener failed: %v\n", err)
 		}
 	}()
 	return nil
@@ -186,6 +245,15 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
+// Err returns the recorded http.Server.Serve failure, or nil while the
+// listener is (still) healthy.
+func (s *Server) Err() error {
+	if v := s.serveErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
 // Engines returns the number of execution lanes.
 func (s *Server) Engines() int { return len(s.engines) }
 
@@ -195,37 +263,55 @@ func (s *Server) ScheduleCache() *core.ScheduleCache { return s.sched }
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// errDraining and errQueueFull classify enqueue refusals.
+// errDraining, errQueueFull and errCanceled classify admission
+// refusals and the canceled terminal state.
 var (
 	errDraining  = errors.New("server is draining")
-	errQueueFull = errors.New("job queue is full")
+	errQueueFull = errors.New("tenant job queue is full")
+	errCanceled  = errors.New("job canceled by client disconnect")
 )
 
-// enqueue admits a job or refuses with errDraining/errQueueFull.
+// enqueue admits a job to its tenant's sub-queue or refuses with
+// errDraining/errQueueFull.
 func (s *Server) enqueue(j *job) error {
-	s.enqMu.RLock()
-	defer s.enqMu.RUnlock()
 	if s.draining.Load() {
 		return errDraining
 	}
-	select {
-	case s.queue <- j:
-		telemetry.JobsQueueDepth.AddUngated(1)
-		return nil
-	default:
-		return errQueueFull
+	if err := s.fq.push(j); err != nil {
+		return err
 	}
+	telemetry.JobsQueueDepth.AddUngated(1)
+	return nil
 }
 
 // retryAfter estimates (in whole seconds, clamped to [1, 60]) how long
-// until the queue has room: the smoothed job run time times the work
-// ahead of a new arrival, divided across the engines.
-func (s *Server) retryAfter() int {
+// until a tenant's sub-queue has room: the smoothed job run time times
+// the work queued ahead of a new arrival, divided across the engines.
+func (s *Server) retryAfter(tenant string) int {
+	// The new arrival waits (roughly) for its tenant's own backlog to
+	// be served at the tenant's fair share, which is at least
+	// 1/activeTenants of the engines; estimating with the global
+	// backlog over all engines stays within the same magnitude and
+	// needs no scheduler introspection.
+	return s.clampSeconds(float64(s.fq.tenantBacklog(tenant) + 1))
+}
+
+// drainRetryAfter estimates how long the ongoing drain will take:
+// the remaining queued jobs served across all engines. Emitted with
+// every draining 503 so well-behaved clients back off instead of
+// hammering a shutting-down server.
+func (s *Server) drainRetryAfter() int {
+	return s.clampSeconds(float64(s.fq.len() + 1))
+}
+
+// clampSeconds turns a queued-job count into whole seconds of expected
+// wait, clamped to [1, 60].
+func (s *Server) clampSeconds(jobsAhead float64) int {
 	ewma := math.Float64frombits(s.ewmaRun.Load())
 	if ewma <= 0 {
 		ewma = 0.1
 	}
-	sec := ewma * float64(len(s.queue)+1) / float64(len(s.engines))
+	sec := ewma * jobsAhead / float64(len(s.engines))
 	n := int(math.Ceil(sec))
 	if n < 1 {
 		n = 1
@@ -251,12 +337,16 @@ func (s *Server) observeRun(sec float64) {
 	}
 }
 
-// engineLoop drains the queue until it is closed. Because every
-// engine loops `for range queue`, jobs admitted before Shutdown closed
-// the queue are all executed — the graceful-drain guarantee.
+// engineLoop pulls jobs via deficit round robin until the fair queue
+// is closed AND empty: jobs admitted before Shutdown closed the queue
+// are all executed — the graceful-drain guarantee.
 func (s *Server) engineLoop(e *engine) {
 	defer s.engineWG.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.fq.pop()
+		if !ok {
+			return
+		}
 		s.execute(e, j)
 	}
 }
@@ -280,20 +370,37 @@ func (s *Server) execute(e *engine, j *job) {
 		Name: "job:" + j.req.Kernel, Cat: "serve", TID: e.id,
 		Phase: -1, Stage: -1, Points: j.res.Updates,
 	}, pickup)
-	tm := s.tenantMetrics(j.tenant)
-	s.completed.Add(1)
-	if err != nil {
+	// Timing fields and the Retry-After EWMA are populated on every
+	// path — a failed or canceled job occupied the engine for exactly
+	// as long as it ran, and an error storm must not freeze the
+	// estimate at the last success.
+	s.observeRun(runSec)
+	j.res.QueueSeconds = qwait.Seconds()
+	j.res.RunSeconds = runSec
+	j.res.Engine = e.id
+	_, tm := s.tenant(j.tenant)
+	switch {
+	case errors.Is(err, core.ErrStopped):
+		// Cooperative cancel landed between replay regions: the
+		// client is gone, so this is the canceled terminal state, not
+		// an error.
+		s.canceled.Add(1)
+		tm.canceled.Inc()
+		j.err = errCanceled
+	case err != nil:
+		s.completed.Add(1)
 		tm.completedErr.Inc()
+		tm.duration.Observe(runSec)
 		j.err = err
-	} else {
+	default:
+		s.completed.Add(1)
 		tm.completedOK.Inc()
 		tm.duration.Observe(runSec)
-		s.observeRun(runSec)
-		j.res.QueueSeconds = qwait.Seconds()
-		j.res.RunSeconds = runSec
-		j.res.Engine = e.id
 		if runSec > 0 {
 			j.res.MLUPs = float64(j.res.Updates) / runSec / 1e6
+		}
+		if s.rcache != nil && j.ckey != "" {
+			s.rcache.put(j.ckey, j.res.Checksum)
 		}
 	}
 	close(j.done)
@@ -320,7 +427,9 @@ func (s *Server) runSafe(e *engine, j *job) (err error) {
 // (Spec) ranks check grids out of the engine arena and replay cached
 // schedules, so a warm shape performs no large allocation and no
 // schedule construction; the generic ND path allocates its grid (it is
-// the flexibility path, not the serving hot path).
+// the flexibility path, not the serving hot path). Every executor call
+// passes the job's cooperative stop flag: a disconnect mid-run aborts
+// at the next region boundary with core.ErrStopped.
 func (s *Server) run(e *engine, j *job) error {
 	req := &j.req
 	bd := j.boundary()
@@ -347,7 +456,7 @@ func (s *Server) run(e *engine, j *job) error {
 		case 1:
 			g := e.arena.Grid1D(req.N[0], j.spec.Slopes[0])
 			SeedGrid1D(g, req.Kernel, req.Seed, bd)
-			if err := core.RunScheduled1D(g, j.spec, sched, e.pool); err != nil {
+			if err := core.RunScheduled1DStop(g, j.spec, sched, e.pool, &j.stop); err != nil {
 				e.arena.Release(g)
 				return err
 			}
@@ -356,7 +465,7 @@ func (s *Server) run(e *engine, j *job) error {
 		case 2:
 			g := e.arena.Grid2D(req.N[0], req.N[1], j.spec.Slopes[0], j.spec.Slopes[1])
 			SeedGrid2D(g, req.Kernel, req.Seed, bd)
-			if err := core.RunScheduled2D(g, j.spec, sched, e.pool); err != nil {
+			if err := core.RunScheduled2DStop(g, j.spec, sched, e.pool, &j.stop); err != nil {
 				e.arena.Release(g)
 				return err
 			}
@@ -366,7 +475,7 @@ func (s *Server) run(e *engine, j *job) error {
 			g := e.arena.Grid3D(req.N[0], req.N[1], req.N[2],
 				j.spec.Slopes[0], j.spec.Slopes[1], j.spec.Slopes[2])
 			SeedGrid3D(g, req.Kernel, req.Seed, bd)
-			if err := core.RunScheduled3D(g, j.spec, sched, e.pool); err != nil {
+			if err := core.RunScheduled3DStop(g, j.spec, sched, e.pool, &j.stop); err != nil {
 				e.arena.Release(g)
 				return err
 			}
@@ -378,7 +487,7 @@ func (s *Server) run(e *engine, j *job) error {
 
 	g := grid.NewNDGrid(req.N, j.gen.Slopes)
 	SeedGridND(g, req.Kernel, req.Seed, bd)
-	if err := core.RunScheduledND(g, j.gen, sched, e.pool); err != nil {
+	if err := core.RunScheduledNDStop(g, j.gen, sched, e.pool, &j.stop); err != nil {
 		return err
 	}
 	j.res.Checksum = ChecksumND(g)
@@ -400,31 +509,51 @@ func (s *Server) finishGrid(e *engine, j *job, g any) {
 	e.arena.Release(g)
 }
 
-// tenantMetrics returns (building once) the cached metric children for
-// a sanitized tenant label.
-func (s *Server) tenantMetrics(tenant string) *tenantMetrics {
+// tenant maps a raw tenant name to its bounded metric label and cached
+// metric children: the name is sanitized, then — if it is new and the
+// distinct-tenant cap is reached — collapsed into the "other" overflow
+// label, so hostile clients minting unbounded tenant names cannot grow
+// the exposition, the metrics map or the scheduler state without
+// bound. Idempotent on already-interned labels.
+func (s *Server) tenant(raw string) (string, *tenantMetrics) {
+	t := sanitizeTenant(raw)
 	s.tmu.RLock()
-	tm := s.tenants[tenant]
+	tm := s.tenants[t]
 	s.tmu.RUnlock()
 	if tm != nil {
-		return tm
+		return t, tm
 	}
 	s.tmu.Lock()
 	defer s.tmu.Unlock()
-	if tm = s.tenants[tenant]; tm != nil {
-		return tm
+	if tm = s.tenants[t]; tm != nil {
+		return t, tm
 	}
-	tm = &tenantMetrics{
-		accepted:     telemetry.JobsAccepted.Counter(tenant),
-		rejQueueFull: telemetry.JobsRejected.Counter(tenant, "queue_full"),
-		rejDraining:  telemetry.JobsRejected.Counter(tenant, "draining"),
-		rejInvalid:   telemetry.JobsRejected.Counter(tenant, "invalid"),
-		completedOK:  telemetry.JobsCompleted.Counter(tenant, "ok"),
-		completedErr: telemetry.JobsCompleted.Counter(tenant, "error"),
-		duration:     telemetry.JobDurationSeconds.Histogram(tenant),
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		t = tenantOverflow
+		if tm = s.tenants[t]; tm != nil {
+			return t, tm
+		}
 	}
-	s.tenants[tenant] = tm
-	return tm
+	tm = newTenantMetrics(t)
+	s.tenants[t] = tm
+	return t, tm
+}
+
+// cancelQueued finalizes a job whose client disconnected before an
+// engine picked it up: the fair queue unlinks it, the canceled
+// terminal state is recorded, and done closes so any waiter returns.
+// Reports false when the job is already running (the caller should set
+// the cooperative stop flag instead).
+func (s *Server) cancelQueued(j *job, tm *tenantMetrics) bool {
+	if !s.fq.cancel(j) {
+		return false
+	}
+	telemetry.JobsQueueDepth.AddUngated(-1)
+	s.canceled.Add(1)
+	tm.canceled.Inc()
+	j.err = errCanceled
+	close(j.done)
+	return true
 }
 
 // Shutdown drains gracefully: new jobs are refused (503), queued jobs
@@ -435,12 +564,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.draining.Swap(true) {
 		return nil // second Shutdown: already draining
 	}
-	// After draining is set, take the write lock so every in-flight
-	// enqueue (holding RLock) has finished; only then is closing the
-	// queue safe.
-	s.enqMu.Lock()
-	close(s.queue)
-	s.enqMu.Unlock()
+	// Closing the fair queue stops admission (push refuses under the
+	// queue's own lock — no in-flight enqueue can slip past) while
+	// pop keeps handing out the admitted backlog until it is empty.
+	s.fq.close()
 
 	drained := make(chan struct{})
 	go func() {
@@ -471,9 +598,7 @@ func (s *Server) Close() error {
 		_ = s.hs.Close()
 	}
 	if !s.draining.Swap(true) {
-		s.enqMu.Lock()
-		close(s.queue)
-		s.enqMu.Unlock()
+		s.fq.close()
 	}
 	s.engineWG.Wait()
 	for _, e := range s.engines {

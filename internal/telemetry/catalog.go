@@ -185,6 +185,31 @@ var (
 	ServeEnginesBusy = Default.NewGauge(
 		"tess_serve_engines_busy",
 		"tessserve engines currently executing a job.").Gauge()
+	// JobsCanceled counts jobs that reached the canceled terminal state
+	// (client disconnect before or during execution), by tenant.
+	JobsCanceled = Default.NewCounter(
+		"tess_jobs_canceled_total",
+		"Simulation jobs canceled by client disconnect, by tenant.",
+		"tenant")
+	// ResultCacheFamily counts deterministic-result-cache lookups by
+	// result; a hit serves the checksum without touching an engine.
+	ResultCacheFamily = Default.NewCounter(
+		"tess_result_cache_lookups_total",
+		"Deterministic result-cache lookups, by result (hit = no execution).",
+		"result")
+	// ResultCacheHit / ResultCacheMiss are the cached per-result
+	// children of ResultCacheFamily.
+	ResultCacheHit  = ResultCacheFamily.Counter("hit")
+	ResultCacheMiss = ResultCacheFamily.Counter("miss")
+	// ResultCacheEntries is the number of checksums currently cached.
+	ResultCacheEntries = Default.NewGauge(
+		"tess_result_cache_entries",
+		"Entries in the deterministic result cache.").Gauge()
+	// ResultCacheEvictions counts LRU/byte-cap evictions from the
+	// result cache.
+	ResultCacheEvictions = Default.NewCounter(
+		"tess_result_cache_evictions_total",
+		"Deterministic result-cache entries evicted (LRU or byte cap).").Counter()
 )
 
 // internal/dist — distributed-memory exchange.
