@@ -19,12 +19,13 @@ func runCompareKernels(w io.Writer, scale, threads int, jsonPath string) error {
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(w, "cpu features: %s\n", rep.CPUFeatures)
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workload\tpath\tseconds\tMLUP/s\tvs row")
+	fmt.Fprintln(tw, "workload\tpath\tseconds\tMLUP/s\tGFLOP/s\tvs row")
 	for _, r := range rep.Results {
-		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.1f\t%.3fx\n",
-			r.Workload, r.Path, r.Seconds, r.MUpdates, r.SpeedupVsRow)
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.1f\t%.3f\t%.3fx\n",
+			r.Workload, r.Path, r.Seconds, r.MUpdates, r.GFlops, r.SpeedupVsRow)
 	}
 	tw.Flush()
 

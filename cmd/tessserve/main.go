@@ -52,6 +52,7 @@ func main() {
 		maxPts      = flag.Int("max-points", 0, "per-job grid point limit (0 = 1<<24)")
 		maxSteps    = flag.Int("max-steps", 0, "per-job step limit (0 = 1<<20)")
 		arenaMax    = flag.Int64("arena-max-bytes", 0, "per-engine arena pooled-memory limit (0 = 1 GiB)")
+		kernelPath  = flag.String("kernel-path", "", "kernel dispatch path: row, block or simd ('' = default simd, degrading to block without CPU support)")
 		drain       = flag.Duration("drain-timeout", 60*time.Second, "graceful drain limit on SIGTERM")
 
 		smoke = flag.Bool("smoke", false, "run the self-contained smoke check and exit")
@@ -85,6 +86,14 @@ func main() {
 		MaxPoints:        *maxPts,
 		MaxSteps:         *maxSteps,
 		ArenaMaxBytes:    *arenaMax,
+		KernelPath:       *kernelPath,
+	}
+	if *kernelPath != "" {
+		// Validate here for a clean CLI error; server.New panics on
+		// unknown names.
+		if _, ok := stencil.ParsePath(*kernelPath); !ok {
+			fatal(fmt.Errorf("unknown -kernel-path %q (valid: row, block, simd)", *kernelPath))
+		}
 	}
 
 	switch {

@@ -5,25 +5,30 @@ import (
 
 	"tessellate"
 	"tessellate/internal/core"
+	"tessellate/internal/cpu"
 )
 
 // Kernel-path comparison: the experiment behind stencilbench's
 // -compare-kernels mode and the committed BENCH_KERNELS.json. It
-// measures the fused block kernels (stencil.Spec.B1/B2/B3, dispatched
-// whole clipped boxes by the executors) against the per-row fallback
-// on the same tessellation schedule, including a short-row sweep whose
-// diamond-shaped boxes stress the per-row dispatch overhead the block
-// path exists to amortise. Every pair must agree on the checksum: the
-// block kernels are hand-tuned but evaluate each point's expression in
-// the row kernel's exact order, so the comparison is bitwise.
+// measures the three dispatch paths — per-row calls, fused scalar
+// block kernels (stencil.Spec.B1/B2/B3), and the 4-lane vector
+// kernels (S1/S2/S3) — on the same tessellation schedule, including a
+// short-row sweep whose diamond-shaped boxes stress the per-row
+// dispatch overhead the fused paths exist to amortise. Every path
+// must agree on the checksum bitwise: the fused kernels evaluate each
+// point's expression in the row kernel's exact order (no
+// reassociation, no FMA), so this is an equality check, not a
+// tolerance. On a machine without vector support the simd rows
+// measure the block fallback (see cpu_features in the header).
 
 // KernelResult is one (workload, dispatch path) measurement.
 type KernelResult struct {
 	Workload string  `json:"workload"`
 	Kernel   string  `json:"kernel"`
-	Path     string  `json:"path"` // "row" or "block"
+	Path     string  `json:"path"` // "row", "block" or "simd"
 	Seconds  float64 `json:"seconds"`
 	MUpdates float64 `json:"mupdates"`
+	GFlops   float64 `json:"gflops"`
 	// SpeedupVsRow is MUpdates relative to the row path of the same
 	// workload (1.0 for the row path itself).
 	SpeedupVsRow float64 `json:"speedup_vs_row"`
@@ -33,8 +38,12 @@ type KernelResult struct {
 // KernelReport is the full -compare-kernels output (the schema of
 // BENCH_KERNELS.json).
 type KernelReport struct {
-	Threads     int            `json:"threads"`
-	Scale       int            `json:"scale"`
+	Threads int `json:"threads"`
+	Scale   int `json:"scale"`
+	// CPUFeatures records the vector extensions detected at run time
+	// ("avx2,fma,..." or "none"), so a committed report says what the
+	// simd rows actually ran.
+	CPUFeatures string         `json:"cpu_features"`
 	Results     []KernelResult `json:"results"`
 	GeneratedBy string         `json:"generated_by"`
 }
@@ -58,17 +67,20 @@ var shortRowWorkloads = []Workload{
 	},
 }
 
-// CompareKernels measures row vs block kernel dispatch on the Heat-2D
-// (fig. 10) and Heat-3D (fig. 11a) tessellation workloads at the given
-// scale and thread count, plus the short-row sweep, enforcing bitwise
-// checksum agreement between the two paths of every workload.
+// CompareKernels measures row vs block vs simd kernel dispatch on the
+// Heat-2D (fig. 10) and Heat-3D (fig. 11a) tessellation workloads at
+// the given scale and thread count, plus the short-row sweep,
+// enforcing bitwise checksum agreement between all paths of every
+// workload. The previously selected path is restored on return.
 func CompareKernels(scale, threads int) (KernelReport, error) {
 	rep := KernelReport{
 		Threads:     threads,
 		Scale:       scale,
+		CPUFeatures: cpu.Features(),
 		GeneratedBy: "stencilbench -compare-kernels",
 	}
-	defer core.SetBlockKernels(true)
+	prev := core.KernelPath()
+	defer core.SetKernelPath(prev)
 	workloads := []Workload{
 		ByFigure("10")[0].Scaled(scale),  // heat-2d
 		ByFigure("11a")[0].Scaled(scale), // heat-3d
@@ -79,8 +91,10 @@ func CompareKernels(scale, threads int) (KernelReport, error) {
 	const reps = 3
 	for _, w := range workloads {
 		var rowMUpdates, rowChecksum float64
-		for _, path := range []string{"row", "block"} {
-			core.SetBlockKernels(path == "block")
+		for _, path := range []string{"row", "block", "simd"} {
+			if err := core.SetKernelPath(path); err != nil {
+				return rep, err
+			}
 			var m Measurement
 			for r := 0; r < reps; r++ {
 				mr, err := RunPlaced(w, tessellate.Tessellation, threads, Placement{})
@@ -99,8 +113,8 @@ func CompareKernels(scale, threads int) (KernelReport, error) {
 				rowMUpdates, rowChecksum = m.MUpdates, m.Checksum
 			} else {
 				if m.Checksum != rowChecksum {
-					return rep, fmt.Errorf("bench: %s block checksum %v != row %v",
-						w, m.Checksum, rowChecksum)
+					return rep, fmt.Errorf("bench: %s %s checksum %v != row %v",
+						w, path, m.Checksum, rowChecksum)
 				}
 				speedup = m.MUpdates / rowMUpdates
 			}
@@ -110,6 +124,7 @@ func CompareKernels(scale, threads int) (KernelReport, error) {
 				Path:         path,
 				Seconds:      m.Seconds,
 				MUpdates:     m.MUpdates,
+				GFlops:       m.GFlops,
 				SpeedupVsRow: speedup,
 				Checksum:     m.Checksum,
 			})

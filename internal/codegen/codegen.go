@@ -89,12 +89,15 @@ func Spec(g *stencil.Generic) (*stencil.Spec, error) {
 		// A 1D row already is a whole block; the separate field just
 		// routes it through the executors' block dispatch.
 		s.B1 = stencil.Kernel1DBlock(k)
+		s.S1 = compile1DVec(g)
 	case 2:
 		s.K2 = compile2D(g)
 		s.B2 = compile2DBlock(g)
+		s.S2 = compile2DVec(g)
 	case 3:
 		s.K3 = compile3D(g)
 		s.B3 = compile3DBlock(g)
+		s.S3 = compile3DVec(g)
 	default:
 		return nil, fmt.Errorf("codegen: row kernels support 1-3 dimensions, got %d (use the ND executor)", g.Dims)
 	}
@@ -207,6 +210,55 @@ func compile3DBlock(g *stencil.Generic) stencil.Kernel3DBlock {
 					}
 					dst[i] = acc
 				}
+			}
+		}
+	}
+}
+
+// compile1DVec builds the auto-vectorizable tier of a 1D stencil (see
+// vec.go). The flat offsets are stride-free in 1D, so there is no
+// cache; the closure captures them directly.
+func compile1DVec(g *stencil.Generic) stencil.Kernel1DBlock {
+	flat, coeff := split(terms(g, []int{1}))
+	return func(dst, src []float64, lo, hi int) {
+		vecRow(dst, src, lo, hi-lo, flat, coeff)
+	}
+}
+
+// compile2DVec builds the auto-vectorizable tier of a 2D stencil:
+// compile2DBlock with the per-point loop replaced by the unrolled,
+// bounds-check-free row bodies in vec.go. Bitwise identical to the
+// row and block tiers.
+func compile2DVec(g *stencil.Generic) stencil.Kernel2DBlock {
+	var cache cacheMap[strideKey]
+	return func(dst, src []float64, base, nx, ny, sy int) {
+		if ny <= 0 {
+			return
+		}
+		e := cache.get(strideKey{sy: sy}, func() ([]int, []float64) {
+			return split(terms(g, []int{sy, 1}))
+		})
+		flat, coeff := e.flat, e.coeff
+		for x := 0; x < nx; x++ {
+			vecRow(dst, src, base+x*sy, ny, flat, coeff)
+		}
+	}
+}
+
+// compile3DVec is the 3D analogue of compile2DVec.
+func compile3DVec(g *stencil.Generic) stencil.Kernel3DBlock {
+	var cache cacheMap[strideKey]
+	return func(dst, src []float64, base, nx, ny, nz, sy, sx int) {
+		if nz <= 0 {
+			return
+		}
+		e := cache.get(strideKey{sy: sy, sx: sx}, func() ([]int, []float64) {
+			return split(terms(g, []int{sx, sy, 1}))
+		})
+		flat, coeff := e.flat, e.coeff
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				vecRow(dst, src, base+x*sx+y*sy, nz, flat, coeff)
 			}
 		}
 	}

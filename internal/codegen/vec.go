@@ -1,0 +1,161 @@
+package codegen
+
+// Auto-vectorizable block closures: the "simd" tier for compiled
+// generic stencils. Unlike the hand-written AVX2 kernels in
+// internal/stencil these are portable Go, structured so a vectorizing
+// backend can lift them to vector code and so the gc compiler's
+// scalar output is already fast: flat offsets are precomputed per
+// stride tuple, every row is re-sliced to its exact extent (proving
+// bounds once, eliminating checks from the inner loop), common term
+// counts get fully unrolled bodies, and the generic fallback walks
+// four independent accumulators per iteration.
+//
+// Bitwise contract: each point accumulates in declaration order
+// starting from a zero accumulator — exactly stencil.Generic.ApplyRow
+// — so row, block and vec tiers agree bit for bit (the leading zero
+// matters: 0 + -0 is +0, so dropping it would flip signed zeros).
+
+// vecRow updates the n contiguous points starting at b.
+func vecRow(dst, src []float64, b, n int, flat []int, coeff []float64) {
+	if n <= 0 {
+		return
+	}
+	switch len(flat) {
+	case 3:
+		vecRow3(dst, src, b, n, flat, coeff)
+	case 5:
+		vecRow5(dst, src, b, n, flat, coeff)
+	case 7:
+		vecRow7(dst, src, b, n, flat, coeff)
+	case 9:
+		vecRow9(dst, src, b, n, flat, coeff)
+	default:
+		vecRowN(dst, src, b, n, flat, coeff)
+	}
+}
+
+// vecRow3 handles 3-term stencils (1D order-1 star). The exact-extent
+// subslices give the compiler len(s_k) == n for every stream, so the
+// j-indexed loads need no bounds checks and have fixed trip count n.
+func vecRow3(dst, src []float64, b, n int, flat []int, coeff []float64) {
+	d := dst[b : b+n : b+n]
+	s0 := src[b+flat[0] : b+flat[0]+n]
+	s1 := src[b+flat[1] : b+flat[1]+n]
+	s2 := src[b+flat[2] : b+flat[2]+n]
+	c0, c1, c2 := coeff[0], coeff[1], coeff[2]
+	for j := 0; j < n; j++ {
+		var acc float64
+		acc += c0 * s0[j]
+		acc += c1 * s1[j]
+		acc += c2 * s2[j]
+		d[j] = acc
+	}
+}
+
+// vecRow5 handles 5-term stencils (2D order-1 star, 1D order-2).
+func vecRow5(dst, src []float64, b, n int, flat []int, coeff []float64) {
+	d := dst[b : b+n : b+n]
+	s0 := src[b+flat[0] : b+flat[0]+n]
+	s1 := src[b+flat[1] : b+flat[1]+n]
+	s2 := src[b+flat[2] : b+flat[2]+n]
+	s3 := src[b+flat[3] : b+flat[3]+n]
+	s4 := src[b+flat[4] : b+flat[4]+n]
+	c0, c1, c2, c3, c4 := coeff[0], coeff[1], coeff[2], coeff[3], coeff[4]
+	for j := 0; j < n; j++ {
+		var acc float64
+		acc += c0 * s0[j]
+		acc += c1 * s1[j]
+		acc += c2 * s2[j]
+		acc += c3 * s3[j]
+		acc += c4 * s4[j]
+		d[j] = acc
+	}
+}
+
+// vecRow7 handles 7-term stencils (3D order-1 star).
+func vecRow7(dst, src []float64, b, n int, flat []int, coeff []float64) {
+	d := dst[b : b+n : b+n]
+	s0 := src[b+flat[0] : b+flat[0]+n]
+	s1 := src[b+flat[1] : b+flat[1]+n]
+	s2 := src[b+flat[2] : b+flat[2]+n]
+	s3 := src[b+flat[3] : b+flat[3]+n]
+	s4 := src[b+flat[4] : b+flat[4]+n]
+	s5 := src[b+flat[5] : b+flat[5]+n]
+	s6 := src[b+flat[6] : b+flat[6]+n]
+	c0, c1, c2, c3 := coeff[0], coeff[1], coeff[2], coeff[3]
+	c4, c5, c6 := coeff[4], coeff[5], coeff[6]
+	for j := 0; j < n; j++ {
+		var acc float64
+		acc += c0 * s0[j]
+		acc += c1 * s1[j]
+		acc += c2 * s2[j]
+		acc += c3 * s3[j]
+		acc += c4 * s4[j]
+		acc += c5 * s5[j]
+		acc += c6 * s6[j]
+		d[j] = acc
+	}
+}
+
+// vecRow9 handles 9-term stencils (2D order-2 star, 2D box).
+func vecRow9(dst, src []float64, b, n int, flat []int, coeff []float64) {
+	d := dst[b : b+n : b+n]
+	s0 := src[b+flat[0] : b+flat[0]+n]
+	s1 := src[b+flat[1] : b+flat[1]+n]
+	s2 := src[b+flat[2] : b+flat[2]+n]
+	s3 := src[b+flat[3] : b+flat[3]+n]
+	s4 := src[b+flat[4] : b+flat[4]+n]
+	s5 := src[b+flat[5] : b+flat[5]+n]
+	s6 := src[b+flat[6] : b+flat[6]+n]
+	s7 := src[b+flat[7] : b+flat[7]+n]
+	s8 := src[b+flat[8] : b+flat[8]+n]
+	c0, c1, c2, c3, c4 := coeff[0], coeff[1], coeff[2], coeff[3], coeff[4]
+	c5, c6, c7, c8 := coeff[5], coeff[6], coeff[7], coeff[8]
+	for j := 0; j < n; j++ {
+		var acc float64
+		acc += c0 * s0[j]
+		acc += c1 * s1[j]
+		acc += c2 * s2[j]
+		acc += c3 * s3[j]
+		acc += c4 * s4[j]
+		acc += c5 * s5[j]
+		acc += c6 * s6[j]
+		acc += c7 * s7[j]
+		acc += c8 * s8[j]
+		d[j] = acc
+	}
+}
+
+// vecRowN is the arbitrary-arity fallback: four independent
+// accumulators walk four consecutive points through the term list, so
+// the term loads are contiguous 4-wide runs a vectorizer can fuse and
+// the scalar schedule has four independent dependency chains. Each
+// accumulator still sums its own point in declaration order, so the
+// result is bitwise identical to the scalar path.
+func vecRowN(dst, src []float64, b, n int, flat []int, coeff []float64) {
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		i := b + j
+		var a0, a1, a2, a3 float64
+		for k, d := range flat {
+			c := coeff[k]
+			s := src[i+d : i+d+4 : i+d+4]
+			a0 += c * s[0]
+			a1 += c * s[1]
+			a2 += c * s[2]
+			a3 += c * s[3]
+		}
+		dst[i] = a0
+		dst[i+1] = a1
+		dst[i+2] = a2
+		dst[i+3] = a3
+	}
+	for ; j < n; j++ {
+		i := b + j
+		var acc float64
+		for k, d := range flat {
+			acc += coeff[k] * src[i+d]
+		}
+		dst[i] = acc
+	}
+}

@@ -76,7 +76,11 @@ func RunScheduled1DStop(g *grid.Grid1D, s *stencil.Spec, sched *Schedule, pool *
 
 func run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool, stop *atomic.Bool) error {
 	h := g.H
-	useBlock := s.B1 != nil && BlockKernelsEnabled()
+	// One path per run: sampled here, never re-read, so a concurrent
+	// SetKernelPath cannot mix dispatch shapes within a run.
+	p := runPath()
+	useSIMD := p == stencil.PathSIMD && s.S1 != nil
+	useBlock := !useSIMD && p >= stencil.PathBlock && s.B1 != nil
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range regions {
 		if stopped(stop) {
@@ -88,7 +92,7 @@ func run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, regions []Re
 			b0, b1 := r.Span(gi)
 			var lo, hi [1]int
 			uniform, interior := cfg.groupPlan(&r, b0, b1, lo[:], hi[:])
-			var pts, rows, blocks int64
+			var pts, rows, blocks, simds int64
 			for t := r.T0; t < r.T1; t++ {
 				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
 				var rel0, n0 int
@@ -117,7 +121,10 @@ func run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, regions []Re
 					if sp != nil {
 						pts += int64(w0)
 					}
-					if useBlock {
+					if useSIMD {
+						s.S1(dst, src, x0+h, x0+w0+h)
+						simds++
+					} else if useBlock {
 						s.B1(dst, src, x0+h, x0+w0+h)
 						blocks++
 					} else {
@@ -127,7 +134,7 @@ func run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg *Config, regions []Re
 				}
 			}
 			sp.addPoints(wkr, pts)
-			sp.addKernelCalls(wkr, rows, blocks)
+			sp.addKernelCalls(wkr, rows, blocks, simds)
 		})
 		sp.end(cfg, &r, ri)
 	}
@@ -181,7 +188,11 @@ func RunScheduled2DStop(g *grid.Grid2D, s *stencil.Spec, sched *Schedule, pool *
 }
 
 func run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool, stop *atomic.Bool) error {
-	useBlock := s.B2 != nil && BlockKernelsEnabled()
+	// One path per run: sampled here, never re-read, so a concurrent
+	// SetKernelPath cannot mix dispatch shapes within a run.
+	p := runPath()
+	useSIMD := p == stencil.PathSIMD && s.S2 != nil
+	useBlock := !useSIMD && p >= stencil.PathBlock && s.B2 != nil
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range regions {
 		if stopped(stop) {
@@ -193,7 +204,7 @@ func run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, regions []Re
 			b0, b1 := r.Span(gi)
 			var lo, hi [2]int
 			uniform, interior := cfg.groupPlan(&r, b0, b1, lo[:], hi[:])
-			var pts, rows, blocks int64
+			var pts, rows, blocks, simds int64
 			for t := r.T0; t < r.T1; t++ {
 				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
 				var rel0, rel1, n0, n1 int
@@ -225,6 +236,11 @@ func run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, regions []Re
 						pts += int64(w0) * int64(w1)
 					}
 					base := g.Idx(x0, y0)
+					if useSIMD {
+						s.S2(dst, src, base, w0, w1, g.SY)
+						simds++
+						continue
+					}
 					if useBlock {
 						s.B2(dst, src, base, w0, w1, g.SY)
 						blocks++
@@ -238,7 +254,7 @@ func run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg *Config, regions []Re
 				}
 			}
 			sp.addPoints(wkr, pts)
-			sp.addKernelCalls(wkr, rows, blocks)
+			sp.addKernelCalls(wkr, rows, blocks, simds)
 		})
 		sp.end(cfg, &r, ri)
 	}
@@ -292,7 +308,11 @@ func RunScheduled3DStop(g *grid.Grid3D, s *stencil.Spec, sched *Schedule, pool *
 }
 
 func run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, regions []Region, pool *par.Pool, stop *atomic.Bool) error {
-	useBlock := s.B3 != nil && BlockKernelsEnabled()
+	// One path per run: sampled here, never re-read, so a concurrent
+	// SetKernelPath cannot mix dispatch shapes within a run.
+	p := runPath()
+	useSIMD := p == stencil.PathSIMD && s.S3 != nil
+	useBlock := !useSIMD && p >= stencil.PathBlock && s.B3 != nil
 	pb := g.Step & 1 // buffer parity: current values live in Buf[pb]
 	for ri, r := range regions {
 		if stopped(stop) {
@@ -304,7 +324,7 @@ func run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, regions []Re
 			b0, b1 := r.Span(gi)
 			var lo, hi [3]int
 			uniform, interior := cfg.groupPlan(&r, b0, b1, lo[:], hi[:])
-			var pts, rows, blocks int64
+			var pts, rows, blocks, simds int64
 			for t := r.T0; t < r.T1; t++ {
 				dst, src := g.Buf[(t+pb+1)&1], g.Buf[(t+pb)&1]
 				var rel0, rel1, rel2, n0, n1, n2 int
@@ -336,6 +356,11 @@ func run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, regions []Re
 						pts += int64(w0) * int64(w1) * int64(w2)
 					}
 					xBase := g.Idx(x0, y0, z0)
+					if useSIMD {
+						s.S3(dst, src, xBase, w0, w1, w2, g.SY, g.SX)
+						simds++
+						continue
+					}
 					if useBlock {
 						s.B3(dst, src, xBase, w0, w1, w2, g.SY, g.SX)
 						blocks++
@@ -353,7 +378,7 @@ func run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg *Config, regions []Re
 				}
 			}
 			sp.addPoints(wkr, pts)
-			sp.addKernelCalls(wkr, rows, blocks)
+			sp.addKernelCalls(wkr, rows, blocks, simds)
 		})
 		sp.end(cfg, &r, ri)
 	}
@@ -467,7 +492,7 @@ func runND(g *grid.NDGrid, gs *stencil.Generic, steps int, cfg *Config, regions 
 				}
 			}
 			sp.addPoints(wkr, pts)
-			sp.addKernelCalls(wkr, rows, 0)
+			sp.addKernelCalls(wkr, rows, 0, 0)
 		})
 		sp.end(cfg, &r, ri)
 	}

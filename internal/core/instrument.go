@@ -40,7 +40,7 @@ func (sp *regionSpan) addPoints(worker int, n int64) {
 // addKernelCalls accumulates kernel invocation counts by dispatch
 // path; safe on a nil span. Like addPoints it is sharded per pool
 // worker so block closures never contend on a shared cache line.
-func (sp *regionSpan) addKernelCalls(worker int, row, block int64) {
+func (sp *regionSpan) addKernelCalls(worker int, row, block, simd int64) {
 	if sp == nil {
 		return
 	}
@@ -49,6 +49,9 @@ func (sp *regionSpan) addKernelCalls(worker int, row, block int64) {
 	}
 	if block > 0 {
 		telemetry.KernelCallsBlock.Add(worker, uint64(block))
+	}
+	if simd > 0 {
+		telemetry.KernelCallsSIMD.Add(worker, uint64(simd))
 	}
 }
 

@@ -1,0 +1,52 @@
+// Package cpu is a minimal CPU-feature probe for the SIMD kernel
+// layer: a CPUID/XGETBV shim (no cgo, no external dependencies) that
+// answers the one question the dispatcher asks — may we run 4-lane
+// float64 AVX2 code? — plus a feature string for benchmark reports so
+// committed numbers are attributable to hardware.
+//
+// Detection follows the Intel SDM recipe: AVX2 requires the CPUID
+// feature bit (leaf 7, sub-leaf 0, EBX bit 5) *and* OS support for
+// saving the YMM state (CPUID leaf 1 ECX OSXSAVE bit 27, then XGETBV
+// XCR0 bits 1 and 2). Builds with the purego tag, or for any
+// non-amd64 architecture, compile the stub instead and report no
+// features.
+package cpu
+
+// HasAVX2 reports whether the CPU and OS support AVX2 256-bit vector
+// instructions on float64 lanes. Always false off amd64 and under the
+// purego build tag.
+var HasAVX2 bool
+
+// HasFMA reports FMA3 support (informational: the SIMD kernels avoid
+// fused multiply-add on purpose to keep bitwise equality with the
+// scalar paths, but benchmark reports record it).
+var HasFMA bool
+
+// HasAVX512F reports AVX-512 Foundation support (informational).
+var HasAVX512F bool
+
+// Features returns a comma-separated list of the detected vector
+// features ("none" when nothing relevant is available), for benchmark
+// JSON headers.
+func Features() string {
+	s := ""
+	if HasAVX2 {
+		s = "avx2"
+	}
+	if HasFMA {
+		if s != "" {
+			s += ","
+		}
+		s += "fma"
+	}
+	if HasAVX512F {
+		if s != "" {
+			s += ","
+		}
+		s += "avx512f"
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}

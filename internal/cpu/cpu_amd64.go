@@ -1,0 +1,43 @@
+//go:build amd64 && !purego
+
+package cpu
+
+// cpuid executes the CPUID instruction with the given EAX/ECX inputs.
+// Implemented in cpuid_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register XCR0 (requires OSXSAVE).
+// Implemented in cpuid_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	// YMM state must be enabled by the OS before any AVX form is
+	// usable: OSXSAVE, then XCR0 bits 1 (SSE) and 2 (AVX).
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return
+	}
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return
+	}
+	HasFMA = ecx1&fma != 0
+	if maxLeaf < 7 {
+		return
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	HasAVX2 = ebx7&(1<<5) != 0
+	// AVX-512 additionally needs XCR0 opmask/ZMM bits 5..7.
+	if ebx7&(1<<16) != 0 && xcr0&0xe0 == 0xe0 {
+		HasAVX512F = true
+	}
+}

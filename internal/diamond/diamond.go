@@ -103,12 +103,15 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg Config, pool *par.Poo
 	if err := cfg.Validate(s.Slopes[0]); err != nil {
 		return err
 	}
+	// One kernel resolution per run through the shared path selector
+	// (see core.SetKernelPath), like every other scheme.
+	k, _ := s.Resolve1D(stencil.ActivePath())
 	geo := newGeometry(cfg, g.N, s.Slopes[0], steps)
 	h := g.H
 	geo.forEachLevel(pool, func(l, n, tt int) {
 		for t := max(tt, 0); t < min(tt+2*cfg.BT, steps); t++ {
 			if lo, hi, ok := geo.bounds(l, n, t, tt, g.N); ok {
-				s.K1(g.Buf[(t+1)&1], g.Buf[t&1], lo+h, hi+h)
+				k(g.Buf[(t+1)&1], g.Buf[t&1], lo+h, hi+h)
 			}
 		}
 	})
@@ -125,6 +128,7 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg Config, pool *par.Poo
 	if err := cfg.Validate(s.Slopes[0]); err != nil {
 		return err
 	}
+	k, _ := s.Resolve2D(stencil.ActivePath())
 	geo := newGeometry(cfg, g.NX, s.Slopes[0], steps)
 	geo.forEachLevel(pool, func(l, n, tt int) {
 		for t := max(tt, 0); t < min(tt+2*cfg.BT, steps); t++ {
@@ -133,9 +137,7 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg Config, pool *par.Poo
 				continue
 			}
 			dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
-			for x := lo; x < hi; x++ {
-				s.K2(dst, src, g.Idx(x, 0), g.NY, g.SY)
-			}
+			k(dst, src, g.Idx(lo, 0), hi-lo, g.NY, g.SY)
 		}
 	})
 	g.Step += steps
@@ -151,6 +153,7 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg Config, pool *par.Poo
 	if err := cfg.Validate(s.Slopes[0]); err != nil {
 		return err
 	}
+	k, _ := s.Resolve3D(stencil.ActivePath())
 	geo := newGeometry(cfg, g.NX, s.Slopes[0], steps)
 	geo.forEachLevel(pool, func(l, n, tt int) {
 		for t := max(tt, 0); t < min(tt+2*cfg.BT, steps); t++ {
@@ -159,11 +162,7 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg Config, pool *par.Poo
 				continue
 			}
 			dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
-			for x := lo; x < hi; x++ {
-				for y := 0; y < g.NY; y++ {
-					s.K3(dst, src, g.Idx(x, y, 0), g.NZ, g.SY, g.SX)
-				}
-			}
+			k(dst, src, g.Idx(lo, 0, 0), hi-lo, g.NY, g.NZ, g.SY, g.SX)
 		}
 	})
 	g.Step += steps

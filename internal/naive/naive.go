@@ -11,13 +11,17 @@ import (
 )
 
 // Run1D advances g by steps time steps of s using the naive schedule.
+// Like every scheme, it resolves its kernel through the process-wide
+// path selector (stencil.ActivePath, set via core.SetKernelPath) once
+// at run start, so cross-scheme benchmarks compare like with like.
 func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, pool *par.Pool) {
+	k, _ := s.Resolve1D(stencil.ActivePath())
 	h := g.H
 	for t := 0; t < steps; t++ {
 		src := g.Buf[g.Step&1]
 		dst := g.Buf[(g.Step+1)&1]
 		if pool == nil || pool.Workers() == 1 {
-			s.K1(dst, src, h, h+g.N)
+			k(dst, src, h, h+g.N)
 		} else {
 			w := pool.Workers()
 			chunk := (g.N + w - 1) / w
@@ -28,7 +32,7 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, pool *par.Pool) {
 					hi = h + g.N
 				}
 				if lo < hi {
-					s.K1(dst, src, lo, hi)
+					k(dst, src, lo, hi)
 				}
 			})
 		}
@@ -38,18 +42,17 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, pool *par.Pool) {
 
 // Run2D advances g by steps time steps of s, parallelising over rows.
 func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, pool *par.Pool) {
+	k, _ := s.Resolve2D(stencil.ActivePath())
 	for t := 0; t < steps; t++ {
 		src := g.Buf[g.Step&1]
 		dst := g.Buf[(g.Step+1)&1]
-		run := func(x int) {
-			s.K2(dst, src, g.Idx(x, 0), g.NY, g.SY)
-		}
 		if pool == nil {
-			for x := 0; x < g.NX; x++ {
-				run(x)
-			}
+			// Serial: one whole-grid box call keeps cross-row reuse.
+			k(dst, src, g.Idx(0, 0), g.NX, g.NY, g.SY)
 		} else {
-			pool.For(g.NX, run)
+			pool.For(g.NX, func(x int) {
+				k(dst, src, g.Idx(x, 0), 1, g.NY, g.SY)
+			})
 		}
 		g.Step++
 	}
@@ -57,13 +60,12 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, pool *par.Pool) {
 
 // Run3D advances g by steps time steps of s, parallelising over planes.
 func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, pool *par.Pool) {
+	k, _ := s.Resolve3D(stencil.ActivePath())
 	for t := 0; t < steps; t++ {
 		src := g.Buf[g.Step&1]
 		dst := g.Buf[(g.Step+1)&1]
 		run := func(x int) {
-			for y := 0; y < g.NY; y++ {
-				s.K3(dst, src, g.Idx(x, y, 0), g.NZ, g.SY, g.SX)
-			}
+			k(dst, src, g.Idx(x, 0, 0), 1, g.NY, g.NZ, g.SY, g.SX)
 		}
 		if pool == nil {
 			for x := 0; x < g.NX; x++ {
@@ -88,6 +90,7 @@ func SpaceTiled2D(g *grid.Grid2D, s *stencil.Spec, steps, bx, by int, pool *par.
 	if by <= 0 {
 		by = 64
 	}
+	k, _ := s.Resolve2D(stencil.ActivePath())
 	ntx := (g.NX + bx - 1) / bx
 	nty := (g.NY + by - 1) / by
 	for t := 0; t < steps; t++ {
@@ -97,9 +100,7 @@ func SpaceTiled2D(g *grid.Grid2D, s *stencil.Spec, steps, bx, by int, pool *par.
 			tx, ty := i/nty, i%nty
 			x0, y0 := tx*bx, ty*by
 			x1, y1 := min(x0+bx, g.NX), min(y0+by, g.NY)
-			for x := x0; x < x1; x++ {
-				s.K2(dst, src, g.Idx(x, y0), y1-y0, g.SY)
-			}
+			k(dst, src, g.Idx(x0, y0), x1-x0, y1-y0, g.SY)
 		}
 		if pool == nil {
 			for i := 0; i < ntx*nty; i++ {
@@ -122,6 +123,7 @@ func SpaceTiled3D(g *grid.Grid3D, s *stencil.Spec, steps, bx, by int, pool *par.
 	if by <= 0 {
 		by = 16
 	}
+	k, _ := s.Resolve3D(stencil.ActivePath())
 	ntx := (g.NX + bx - 1) / bx
 	nty := (g.NY + by - 1) / by
 	for t := 0; t < steps; t++ {
@@ -131,11 +133,7 @@ func SpaceTiled3D(g *grid.Grid3D, s *stencil.Spec, steps, bx, by int, pool *par.
 			tx, ty := i/nty, i%nty
 			x0, y0 := tx*bx, ty*by
 			x1, y1 := min(x0+bx, g.NX), min(y0+by, g.NY)
-			for x := x0; x < x1; x++ {
-				for y := y0; y < y1; y++ {
-					s.K3(dst, src, g.Idx(x, y, 0), g.NZ, g.SY, g.SX)
-				}
-			}
+			k(dst, src, g.Idx(x0, y0, 0), x1-x0, y1-y0, g.NZ, g.SY, g.SX)
 		}
 		if pool == nil {
 			for i := 0; i < ntx*nty; i++ {

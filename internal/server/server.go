@@ -74,6 +74,15 @@ type Config struct {
 	// ArenaMaxBytes bounds each engine arena's total pooled memory
 	// across all buffer lengths (0 = grid.DefaultArenaMaxBytes).
 	ArenaMaxBytes int64
+	// KernelPath selects the process-wide kernel dispatch ceiling
+	// ("row", "block" or "simd"; "" keeps the current setting, which
+	// defaults to simd). All paths compute bitwise-identical results;
+	// a simd request without CPU support degrades to block and is
+	// counted in tess_kernel_simd_fallbacks_total. Schedule replays
+	// pick the path up atomically at their next run, so it is safe to
+	// change on a live server via core.SetKernelPath. Unknown names
+	// are rejected by New.
+	KernelPath string
 }
 
 func (c *Config) setDefaults() {
@@ -191,6 +200,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.setDefaults()
 	telemetry.Enable()
+	if cfg.KernelPath != "" {
+		if err := core.SetKernelPath(cfg.KernelPath); err != nil {
+			// Misconfiguration, not a runtime condition: fail loudly at
+			// construction rather than serving on a surprise path.
+			panic(err)
+		}
+	}
 	weights := make(map[string]int, len(cfg.TenantWeights))
 	for t, w := range cfg.TenantWeights {
 		weights[sanitizeTenant(t)] = w

@@ -86,6 +86,9 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg Config, pool *par.Poo
 	if err := cfg.Validate(1); err != nil {
 		return err
 	}
+	// One kernel resolution per run through the shared path selector
+	// (see core.SetKernelPath), like every other scheme.
+	k, _ := s.Resolve1D(stencil.ActivePath())
 	tg := newTileGrid(cfg, []int{g.N}, s.Slopes, steps)
 	h := g.H
 	forEachWavefront(pool, tg.bands, tg.nt, func(j int, idx []int) {
@@ -93,7 +96,7 @@ func Run1D(g *grid.Grid1D, s *stencil.Spec, steps int, cfg Config, pool *par.Poo
 		t1 := min(t0+cfg.BT, steps)
 		for t := t0; t < t1; t++ {
 			if lo, hi, ok := tg.bounds(0, idx[0], t); ok {
-				s.K1(g.Buf[(t+1)&1], g.Buf[t&1], lo+h, hi+h)
+				k(g.Buf[(t+1)&1], g.Buf[t&1], lo+h, hi+h)
 			}
 		}
 	})
@@ -109,6 +112,7 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg Config, pool *par.Poo
 	if err := cfg.Validate(2); err != nil {
 		return err
 	}
+	k, _ := s.Resolve2D(stencil.ActivePath())
 	tg := newTileGrid(cfg, []int{g.NX, g.NY}, s.Slopes, steps)
 	forEachWavefront(pool, tg.bands, tg.nt, func(j int, idx []int) {
 		t0 := j * cfg.BT
@@ -123,9 +127,7 @@ func Run2D(g *grid.Grid2D, s *stencil.Spec, steps int, cfg Config, pool *par.Poo
 				continue
 			}
 			dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
-			for x := xlo; x < xhi; x++ {
-				s.K2(dst, src, g.Idx(x, ylo), yhi-ylo, g.SY)
-			}
+			k(dst, src, g.Idx(xlo, ylo), xhi-xlo, yhi-ylo, g.SY)
 		}
 	})
 	g.Step += steps
@@ -140,6 +142,7 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg Config, pool *par.Poo
 	if err := cfg.Validate(3); err != nil {
 		return err
 	}
+	k, _ := s.Resolve3D(stencil.ActivePath())
 	tg := newTileGrid(cfg, []int{g.NX, g.NY, g.NZ}, s.Slopes, steps)
 	forEachWavefront(pool, tg.bands, tg.nt, func(j int, idx []int) {
 		t0 := j * cfg.BT
@@ -158,11 +161,7 @@ func Run3D(g *grid.Grid3D, s *stencil.Spec, steps int, cfg Config, pool *par.Poo
 				continue
 			}
 			dst, src := g.Buf[(t+1)&1], g.Buf[t&1]
-			for x := xlo; x < xhi; x++ {
-				for y := ylo; y < yhi; y++ {
-					s.K3(dst, src, g.Idx(x, y, zlo), zhi-zlo, g.SY, g.SX)
-				}
-			}
+			k(dst, src, g.Idx(xlo, ylo, zlo), xhi-xlo, yhi-ylo, zhi-zlo, g.SY, g.SX)
 		}
 	})
 	g.Step += steps

@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package stencil
+
+// SIMDAvailable reports whether the hand-tuned vector kernels are
+// usable on this machine. This build (non-amd64 or purego) has no
+// assembly, so the shipped specs carry no S kernels and the SIMD path
+// degrades to block everywhere.
+func SIMDAvailable() bool { return false }

@@ -91,16 +91,26 @@ type Spec struct {
 	B1 Kernel1DBlock // optional, Dims == 1
 	B2 Kernel2DBlock // optional, Dims == 2
 	B3 Kernel3DBlock // optional, Dims == 3
+
+	// Optional SIMD kernels (4-lane float64 AVX2 on amd64, or the
+	// codegen package's auto-vectorizable closures). Same whole-box
+	// contract as the block kernels and bitwise-identical arithmetic;
+	// populated only when the platform supports them, so a nil check
+	// doubles as the capability gate.
+	S1 Kernel1DBlock // optional, Dims == 1
+	S2 Kernel2DBlock // optional, Dims == 2
+	S3 Kernel3DBlock // optional, Dims == 3
 }
 
-// RowOnly returns a copy of the spec with the block kernels cleared,
-// forcing executors onto the row path. Use it whenever a copied spec
-// replaces or wraps a row kernel (tracing, instrumentation, fault
-// injection): a stale block kernel on the copy would silently bypass
-// the replacement.
+// RowOnly returns a copy of the spec with the block and SIMD kernels
+// cleared, forcing executors onto the row path. Use it whenever a
+// copied spec replaces or wraps a row kernel (tracing,
+// instrumentation, fault injection): a stale fused kernel on the copy
+// would silently bypass the replacement.
 func (s *Spec) RowOnly() *Spec {
 	t := *s
 	t.B1, t.B2, t.B3 = nil, nil, nil
+	t.S1, t.S2, t.S3 = nil, nil, nil
 	return &t
 }
 

@@ -108,10 +108,21 @@ var (
 		"tess_kernel_calls_total",
 		"Stencil kernel invocations by the executors, by dispatch path.",
 		"path")
-	// KernelCallsRow / KernelCallsBlock are the cached per-path
-	// children of KernelCallsFamily.
+	// KernelCallsRow / KernelCallsBlock / KernelCallsSIMD are the
+	// cached per-path children of KernelCallsFamily ("simd" counts
+	// whole-box calls into the 4-lane vector kernels, hand-written
+	// AVX2 or codegen's auto-vectorizable closures).
 	KernelCallsRow   = KernelCallsFamily.ShardedCounter("row")
 	KernelCallsBlock = KernelCallsFamily.ShardedCounter("block")
+	KernelCallsSIMD  = KernelCallsFamily.ShardedCounter("simd")
+	// KernelSIMDFallbacks counts runs (and SetKernelPath calls) that
+	// requested the simd path on a platform without vector kernels and
+	// were degraded to the block path. A nonzero value on an amd64
+	// deployment means the fleet is not getting the vector speedup it
+	// asked for.
+	KernelSIMDFallbacks = Default.NewCounter(
+		"tess_kernel_simd_fallbacks_total",
+		"Runs that requested the simd kernel path but degraded to block (no CPU/platform support).").Counter()
 )
 
 // internal/core + internal/grid — steady-state reuse caches. Serving
