@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"tessellate/internal/bench"
+)
+
+// runCompareDist drives bench.CompareDist, renders the human-readable
+// table, and optionally writes the JSON report (BENCH_DIST.json
+// schema).
+func runCompareDist(w io.Writer, scale, threads int, jsonPath string) error {
+	fmt.Fprintf(w, "distributed exchange comparison: sync vs overlapped halo exchange over loopback TCP, 1/%d scale, %d threads\n", scale, threads)
+	rep, err := bench.CompareDist(scale, threads)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%s, %d steps, %d regions (one exchange per region); checksums bitwise-equal to single-rank\n",
+		rep.Workload, rep.Steps, rep.Regions)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ranks\tpad/msg\tmode\tseconds\tMLUP/s\tvs sync")
+	for _, r := range rep.Results {
+		fmt.Fprintf(tw, "%d\t%dµs\t%s\t%.3f\t%.1f\t%.3fx\n",
+			r.Ranks, r.PadMicros, r.Mode, r.Seconds, r.MUpdates, r.SpeedupVsSync)
+	}
+	tw.Flush()
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote distributed-exchange report to %s\n", jsonPath)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@
 //	stencilbench -compare-placement    # dynamic vs sticky(+pin) scheduling comparison
 //	stencilbench -compare-kernels      # row vs fused block kernel dispatch comparison
 //	stencilbench -compare-coarsening   # none vs global vs per-stage dispatch coarsening
+//	stencilbench -compare-dist         # sync vs overlapped halo exchange over loopback TCP
 //	stencilbench -paper -fig 8         # full paper problem sizes (hours!)
 //	stencilbench -threads 1,2,4,8      # thread sweep points
 //	stencilbench -fig 10 -coarsen-per-stage 8,2   # fixed per-stage coarsening vector
@@ -41,6 +42,7 @@
 //	-compare-placement   |     yes          yes      no        no             yes
 //	-compare-kernels     |     yes          yes      no       yes             yes
 //	-compare-coarsening  |     yes          yes      no       yes             yes
+//	-compare-dist        |     yes          yes      no        no             yes
 //
 // -csv needs a single -fig to name the measurement sweep it exports;
 // combining it with -list, -ablate, -concurrency, -adaptive or
@@ -52,6 +54,10 @@
 // (the BENCH_PAR.json schema). -compare-kernels measures the row vs
 // fused-block kernel dispatch paths (BENCH_KERNELS.json schema) and
 // enforces bitwise checksum agreement between them.
+// -compare-dist measures the synchronous vs overlapped distributed
+// halo exchange over loopback TCP at 2 and 4 ranks, bare and with
+// injected per-message latency (BENCH_DIST.json schema, every cell's
+// checksum enforced bitwise against a single-rank run).
 // -coarsen-per-stage applies a fixed per-stage dispatch coarsening
 // vector (comma-separated factors, entry i for stage-i regions;
 // see Options.CoarsenPerStage) to every tessellation measurement of
@@ -92,6 +98,7 @@ func main() {
 		cmpPl   = flag.Bool("compare-placement", false, "compare dynamic vs sticky(+pin) scheduling on Heat-2D/3D and sweep dispatch overhead")
 		cmpKr   = flag.Bool("compare-kernels", false, "compare row vs fused block kernel dispatch on Heat-2D/3D plus a short-row sweep")
 		cmpCo   = flag.Bool("compare-coarsening", false, "compare uncoarsened vs best-global vs per-stage dispatch coarsening on Heat-2D/3D plus a fine-grain sweep")
+		cmpDs   = flag.Bool("compare-dist", false, "compare sync vs overlapped halo exchange over loopback TCP at 2/4 ranks, bare and latency-padded")
 		coarsen = flag.String("coarsen-per-stage", "", "comma-separated per-stage dispatch coarsening factors applied to tessellation measurements (entry i = stage i)")
 		jsonOut = flag.String("json", "", "compare-placement/-compare-kernels/-compare-coarsening: also write the report as JSON to this file")
 		telAddr = flag.String("telemetry", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. :8080) and enable instrumentation")
@@ -106,17 +113,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc || *adapt || *cmpPl || *cmpKr || *cmpCo) {
-		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency, -adaptive, -compare-placement, -compare-kernels, -compare-coarsening or -fig all"))
+	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc || *adapt || *cmpPl || *cmpKr || *cmpCo || *cmpDs) {
+		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency, -adaptive, -compare-placement, -compare-kernels, -compare-coarsening, -compare-dist or -fig all"))
 	}
 	if *cmpPl && (*pin || *sticky) {
 		fatal(fmt.Errorf("-compare-placement measures every placement itself; -pin/-sticky cannot be combined with it"))
 	}
-	if moreThanOne(*cmpKr, *cmpPl, *cmpCo) {
-		fatal(fmt.Errorf("-compare-kernels, -compare-placement and -compare-coarsening are separate modes; pick one"))
+	if moreThanOne(*cmpKr, *cmpPl, *cmpCo, *cmpDs) {
+		fatal(fmt.Errorf("-compare-kernels, -compare-placement, -compare-coarsening and -compare-dist are separate modes; pick one"))
 	}
-	if *jsonOut != "" && !*cmpPl && !*cmpKr && !*cmpCo {
-		fatal(fmt.Errorf("-json is only meaningful with -compare-placement, -compare-kernels or -compare-coarsening"))
+	if *jsonOut != "" && !*cmpPl && !*cmpKr && !*cmpCo && !*cmpDs {
+		fatal(fmt.Errorf("-json is only meaningful with -compare-placement, -compare-kernels, -compare-coarsening or -compare-dist"))
 	}
 	if *coarsen != "" {
 		if *cmpCo {
@@ -172,6 +179,10 @@ func main() {
 		}
 	case *cmpCo:
 		if err := runCompareCoarsening(os.Stdout, *scale, ths[len(ths)-1], *jsonOut); err != nil {
+			fatal(err)
+		}
+	case *cmpDs:
+		if err := runCompareDist(os.Stdout, *scale, ths[len(ths)-1], *jsonOut); err != nil {
 			fatal(err)
 		}
 	case *fig == "all":

@@ -1,0 +1,167 @@
+package main
+
+// Distributed validation mode: N OS processes (one per rank, possibly
+// on different machines) run the same deterministic workload over TCP
+// and assert that the gathered result is bitwise identical to a
+// single-rank reference computed locally. This is the cross-machine
+// counterpart of the in-process dist tests.
+//
+//	# two processes on one host
+//	tessvalidate -dist tcp -rank 0 -peers 127.0.0.1:7471,127.0.0.1:7472 -n 96,40 -big 12,12 -bt 3 -steps 10 &
+//	tessvalidate -dist tcp -rank 1 -peers 127.0.0.1:7471,127.0.0.1:7472 -n 96,40 -big 12,12 -bt 3 -steps 10
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"tessellate"
+	"tessellate/internal/autotune"
+	"tessellate/internal/core"
+	"tessellate/internal/dist"
+	"tessellate/internal/grid"
+	"tessellate/internal/naive"
+	"tessellate/internal/stencil"
+	"tessellate/internal/telemetry"
+	"tessellate/internal/verify"
+)
+
+// distOptions carries the -dist* flag values from main.
+type distOptions struct {
+	rank     int
+	peers    string
+	sync     bool
+	workers  int
+	timeout  time.Duration
+	autotune bool
+}
+
+// runDist executes the distributed validation for one rank and
+// returns an error on any failure, including bitwise disagreement.
+func runDist(cfg *core.Config, steps int, o distOptions) error {
+	if len(cfg.N) != 2 {
+		return fmt.Errorf("-dist validates 2D workloads (got %dD); use -n nx,ny", len(cfg.N))
+	}
+	addrs := strings.Split(o.peers, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	nranks := len(addrs)
+	if o.rank < 0 || o.rank >= nranks {
+		return fmt.Errorf("-rank %d outside -peers list of %d", o.rank, nranks)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	// The per-peer exchange histograms are the autotune signal; record
+	// them whether or not -dist-autotune is set so operators can
+	// scrape them either way.
+	telemetry.Enable()
+
+	tr, err := dist.NewTCPTransportOpts(o.rank, addrs, dist.TCPOptions{
+		DialTimeout:  o.timeout,
+		ReadTimeout:  o.timeout,
+		WriteTimeout: o.timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	// Same deterministic initial state in every process.
+	spec := stencil.Heat2D
+	nx, ny := cfg.N[0], cfg.N[1]
+	initial := grid.NewGrid2D(nx, ny, spec.Slopes[0], spec.Slopes[1])
+	rng := rand.New(rand.NewSource(42))
+	initial.Fill(func(x, y int) float64 { return rng.Float64() })
+	initial.SetBoundary(0.5)
+
+	r, err := dist.NewRank(o.rank, nranks, tr, cfg, spec, o.workers)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	r.SetOverlap(!o.sync)
+	if err := r.Scatter(initial); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := r.Run(steps); err != nil {
+		return fmt.Errorf("rank %d run: %w", o.rank, err)
+	}
+	elapsed := time.Since(start)
+
+	mode := "overlapped"
+	if o.sync {
+		mode = "sync"
+	}
+
+	// Root gathers every territory and compares bitwise against a
+	// locally computed single-rank reference.
+	if o.rank == 0 {
+		got := grid.NewGrid2D(nx, ny, spec.Slopes[0], spec.Slopes[1])
+		if err := r.GatherTo(0, got); err != nil {
+			return err
+		}
+		ref := initial.Clone()
+		naive.Run2D(ref, spec, steps, nil)
+		if res := verify.Grids2D(got, ref); !res.Equal {
+			return fmt.Errorf("MISMATCH: %v", res.Error(mode+"-tcp"))
+		}
+		fmt.Printf("ok: rank 0/%d gathered %v after %d steps over tcp (%s exchange, %v): bitwise identical to single-rank, checksum %x\n",
+			nranks, cfg.N, steps, mode, elapsed.Round(time.Millisecond), checksumBits(got))
+	} else {
+		if err := r.GatherTo(0, nil); err != nil {
+			return err
+		}
+		fmt.Printf("ok: rank %d/%d contributed %v territory (%s exchange, %v)\n",
+			o.rank, nranks, r.Partition(), mode, elapsed.Round(time.Millisecond))
+	}
+
+	if o.autotune {
+		return reportDistAutotune(r, cfg, o)
+	}
+	return nil
+}
+
+// reportDistAutotune re-tunes (BT, Big) for this rank's slab with the
+// exchange cost measured during the run folded into the objective.
+func reportDistAutotune(r *dist.Rank, cfg *core.Config, o distOptions) error {
+	var peers []int
+	if o.rank > 0 {
+		peers = append(peers, o.rank-1)
+	}
+	part := r.Partition()
+	nranks := len(strings.Split(o.peers, ","))
+	if o.rank < nranks-1 {
+		peers = append(peers, o.rank+1)
+	}
+	cost := dist.MeasuredExchangeCost(peers)
+	res, err := autotune.SearchDist(tessellate.Heat2D,
+		[]int{part.Width(), cfg.N[1]}, o.workers,
+		autotune.Budget{MaxTrials: 12, MinSteps: 16},
+		autotune.DistCost{PerExchangeSeconds: cost})
+	if err != nil {
+		return fmt.Errorf("dist autotune: %w", err)
+	}
+	fmt.Printf("autotune: rank %d measured %.3gs/exchange -> BT=%d Big=%v (%.1f effective MUpd/s over %d trials)\n",
+		o.rank, cost, res.Best.TimeTile, res.Best.Block, res.BestRate, len(res.Trials))
+	return nil
+}
+
+// checksumBits folds the current buffer in fixed order; identical
+// across processes iff the field is bitwise identical.
+func checksumBits(g *grid.Grid2D) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	buf := g.Buf[g.Step&1]
+	for y := 0; y < g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			h ^= math.Float64bits(buf[g.Idx(x, y)])
+			h *= 1099511628211
+		}
+	}
+	return h
+}

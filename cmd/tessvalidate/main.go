@@ -10,6 +10,12 @@
 //	tessvalidate -n 64,64 -big 16,24 -bt 4 -steps 13
 //	tessvalidate -n 100 -big 20 -bt 5 -steps 17 -slopes 2 -nomerge
 //	tessvalidate -fuzz 200 -seed 1
+//
+// With -dist tcp the process becomes one rank of a multi-process run
+// that asserts cross-rank bitwise agreement against a single-rank
+// reference (see dist.go):
+//
+//	tessvalidate -dist tcp -rank 0 -peers 127.0.0.1:7471,127.0.0.1:7472 -n 96,40 -big 12,12 -bt 3 -steps 10
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"tessellate/internal/core"
 	"tessellate/internal/telemetry"
@@ -35,6 +42,14 @@ func main() {
 		fuzz    = flag.Int("fuzz", 0, "validate this many random configurations instead")
 		seed    = flag.Int64("seed", 1, "fuzz seed")
 		telAddr = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address while validating (profile long fuzz runs)")
+
+		distMode  = flag.String("dist", "", `distributed mode: "tcp" runs this process as one rank and checks cross-rank bitwise agreement`)
+		distRank  = flag.Int("rank", 0, "this process's rank in -peers (with -dist)")
+		distPeers = flag.String("peers", "", "comma-separated host:port listen addresses, one per rank (with -dist)")
+		distSync  = flag.Bool("dist-sync", false, "use the synchronous exchange instead of the overlapped default (with -dist)")
+		distWrk   = flag.Int("dist-workers", 1, "worker pool size per rank (with -dist)")
+		distTmo   = flag.Duration("dist-timeout", 30*time.Second, "dial/read/write deadline for the TCP transport (with -dist)")
+		distTune  = flag.Bool("dist-autotune", false, "after the run, re-tune (BT, Big) for this rank's slab with the measured exchange cost (with -dist)")
 	)
 	flag.Parse()
 
@@ -74,6 +89,24 @@ func main() {
 		}
 	}
 	cfg := core.Config{N: n, Slopes: slopes, BT: *bt, Big: big, Merge: !*noMerge}
+
+	if *distMode != "" {
+		if *distMode != "tcp" {
+			fatal(fmt.Errorf("unknown -dist mode %q (only \"tcp\")", *distMode))
+		}
+		if *distPeers == "" {
+			fatal(fmt.Errorf("-dist tcp requires -peers"))
+		}
+		if err := runDist(&cfg, *steps, distOptions{
+			rank: *distRank, peers: *distPeers, sync: *distSync,
+			workers: *distWrk, timeout: *distTmo, autotune: *distTune,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "tessvalidate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := core.ValidateSchedule(&cfg, *steps); err != nil {
 		fmt.Fprintln(os.Stderr, "INVALID:", err)
 		os.Exit(1)

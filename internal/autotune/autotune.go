@@ -23,6 +23,10 @@ type Trial struct {
 	Options  tessellate.Options
 	Seconds  float64
 	MUpdates float64 // millions of point updates per second
+	// ExchangeSeconds is the communication cost SearchDist charged this
+	// candidate (zero in plain Search); when set, MUpdates is the
+	// effective rate including it.
+	ExchangeSeconds float64
 	// Sticky/Pinned record the placement knobs the trial ran with
 	// (both false during the tile-search passes).
 	Sticky bool

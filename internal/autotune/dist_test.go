@@ -1,0 +1,53 @@
+package autotune
+
+import (
+	"testing"
+
+	"tessellate"
+)
+
+func TestSearchDistZeroCostMatchesPlainObjective(t *testing.T) {
+	res, err := SearchDist(tessellate.Heat2D, []int{64, 64}, 1, Budget{MaxTrials: 8, MinSteps: 8}, DistCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestRate <= 0 {
+		t.Fatal("non-positive best rate")
+	}
+	for _, tr := range res.Trials {
+		if tr.ExchangeSeconds != 0 {
+			t.Fatalf("zero-cost trial charged %v exchange seconds", tr.ExchangeSeconds)
+		}
+	}
+	// Every candidate must fit the slab: halo <= slab width.
+	for _, tr := range res.Trials {
+		if h := tr.Options.Block[0] + tessellate.Heat2D.Slopes[0]; h > 64 {
+			t.Fatalf("candidate halo %d exceeds slab width", h)
+		}
+	}
+}
+
+// A dominant exchange cost must push the search to the tallest legal
+// time tile: regions (and so exchanges) per step scale as 1/BT, so
+// with compute time negligible against a 10 ms-per-exchange charge the
+// objective is minimized by the largest BT the 64-wide slab admits.
+func TestSearchDistHighLatencyPrefersTallTimeTiles(t *testing.T) {
+	res, err := SearchDist(tessellate.Heat2D, []int{64, 64}, 1, Budget{MaxTrials: 12, MinSteps: 8},
+		DistCost{PerExchangeSeconds: 10e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLegal := 0
+	for _, tr := range res.Trials {
+		if tr.Options.TimeTile > maxLegal {
+			maxLegal = tr.Options.TimeTile
+		}
+		if tr.ExchangeSeconds <= 0 {
+			t.Fatalf("trial %+v charged no exchange cost", tr.Options)
+		}
+	}
+	if res.Best.TimeTile != maxLegal {
+		t.Fatalf("best TimeTile = %d with 10ms exchanges; want the tallest measured (%d)",
+			res.Best.TimeTile, maxLegal)
+	}
+}

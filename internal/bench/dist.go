@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tessellate/internal/core"
+	"tessellate/internal/dist"
+	"tessellate/internal/grid"
+	"tessellate/internal/naive"
+	"tessellate/internal/stencil"
+)
+
+// Distributed exchange comparison: the experiment behind
+// stencilbench's -compare-dist mode and the committed BENCH_DIST.json.
+// It runs the same heat-2d workload over loopback TCP at 2 and 4
+// ranks, with the synchronous and the overlapped exchange, both bare
+// and with injected per-message latency (a FaultTransport send delay
+// standing in for a real network RTT). Every cell must reproduce the
+// single-rank checksum bitwise; the figure of merit is the overlapped
+// path's wall-clock win once latency is no longer free — the exchange
+// hides under each region's interior blocks instead of serializing
+// with them.
+
+// DistResult is one (ranks, latency, exchange-mode) measurement.
+type DistResult struct {
+	Ranks     int     `json:"ranks"`
+	PadMicros int     `json:"pad_micros"` // injected per-message send latency
+	Mode      string  `json:"mode"`       // "sync" or "overlap"
+	Seconds   float64 `json:"seconds"`
+	MUpdates  float64 `json:"mupdates"`
+	// SpeedupVsSync is MUpdates relative to the sync mode of the same
+	// (ranks, pad) cell (1.0 for sync itself).
+	SpeedupVsSync float64 `json:"speedup_vs_sync"`
+	Checksum      float64 `json:"checksum"`
+}
+
+// DistReport is the full -compare-dist output (the schema of
+// BENCH_DIST.json).
+type DistReport struct {
+	Threads     int          `json:"threads"`
+	Scale       int          `json:"scale"`
+	Workload    string       `json:"workload"`
+	Steps       int          `json:"steps"`
+	Regions     int          `json:"regions"`
+	Results     []DistResult `json:"results"`
+	GeneratedBy string       `json:"generated_by"`
+}
+
+// distPads are the injected per-message latencies: zero (bare
+// loopback) and half a millisecond (same-rack TCP territory).
+var distPads = []time.Duration{0, 500 * time.Microsecond}
+
+// CompareDist measures sync vs overlapped halo exchange over loopback
+// TCP at 2 and 4 ranks on a heat-2d workload at the given scale,
+// enforcing bitwise checksum agreement of every cell with a
+// single-rank reference. threads is split across the ranks of a run
+// (minimum one worker each).
+func CompareDist(scale, threads int) (DistReport, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	nx, ny := 768/scale, 256/scale
+	const steps = 24
+	cfg := &core.Config{N: []int{nx, ny}, Slopes: []int{1, 1}, BT: 4, Big: []int{16, 32}, Merge: true}
+	if err := cfg.Validate(); err != nil {
+		return DistReport{}, err
+	}
+	spec := stencil.Heat2D
+
+	initial := grid.NewGrid2D(nx, ny, spec.Slopes[0], spec.Slopes[1])
+	seed2D(initial, spec.Name)
+	ref := initial.Clone()
+	naive.Run2D(ref, spec, steps, nil)
+	refSum := checksum2D(ref)
+
+	rep := DistReport{
+		Threads:     threads,
+		Scale:       scale,
+		Workload:    fmt.Sprintf("heat-2d %dx%d", nx, ny),
+		Steps:       steps,
+		Regions:     len(cfg.Regions(steps)),
+		GeneratedBy: "stencilbench -compare-dist",
+	}
+	const reps = 2
+	for _, nranks := range []int{2, 4} {
+		if _, err := dist.Slabs(nx, nranks, dist.ExchangeHalo(cfg)); err != nil {
+			return rep, fmt.Errorf("bench: %d ranks at scale %d: %w", nranks, scale, err)
+		}
+		for _, pad := range distPads {
+			var syncMUpdates float64
+			for _, overlap := range []bool{false, true} {
+				best := DistResult{}
+				for r := 0; r < reps; r++ {
+					secs, sum, err := runDistTCP(cfg, spec, initial, steps, nranks, pad, overlap, threads)
+					if err != nil {
+						return rep, err
+					}
+					if sum != refSum {
+						return rep, fmt.Errorf("bench: %d ranks pad=%v overlap=%v checksum %v != single-rank %v",
+							nranks, pad, overlap, sum, refSum)
+					}
+					if r == 0 || secs < best.Seconds {
+						best.Seconds, best.Checksum = secs, sum
+					}
+				}
+				best.Ranks = nranks
+				best.PadMicros = int(pad / time.Microsecond)
+				best.Mode = "sync"
+				best.MUpdates = float64(nx) * float64(ny) * steps / best.Seconds / 1e6
+				best.SpeedupVsSync = 1
+				if overlap {
+					best.Mode = "overlap"
+					best.SpeedupVsSync = best.MUpdates / syncMUpdates
+				} else {
+					syncMUpdates = best.MUpdates
+				}
+				rep.Results = append(rep.Results, best)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runDistTCP executes one distributed run over loopback TCP and
+// returns its wall time and gathered checksum.
+func runDistTCP(cfg *core.Config, spec *stencil.Spec, initial *grid.Grid2D, steps, nranks int, pad time.Duration, overlap bool, threads int) (float64, float64, error) {
+	addrs := make([]string, nranks)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	trs := make([]*dist.TCPTransport, nranks)
+	defer func() {
+		for _, tr := range trs {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+	}()
+	wrapped := make([]dist.Transport, nranks)
+	for i := 0; i < nranks; i++ {
+		tr, err := dist.NewTCPTransport(i, addrs)
+		if err != nil {
+			return 0, 0, err
+		}
+		trs[i] = tr
+		addrs[i] = tr.Addr()
+		f := dist.NewFaultTransport(tr)
+		f.SetSendDelay(pad)
+		wrapped[i] = f
+	}
+
+	workers := threads / nranks
+	if workers < 1 {
+		workers = 1
+	}
+	ranks := make([]*dist.Rank, nranks)
+	defer func() {
+		for _, r := range ranks {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+	for i := 0; i < nranks; i++ {
+		r, err := dist.NewRank(i, nranks, wrapped[i], cfg, spec, workers)
+		if err != nil {
+			return 0, 0, err
+		}
+		ranks[i] = r
+		r.SetOverlap(overlap)
+		if err := r.Scatter(initial); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	errs := make([]error, nranks)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range ranks {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); errs[i] = ranks[i].Run(steps) }(i)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	for i, err := range errs {
+		if err != nil {
+			return 0, 0, fmt.Errorf("bench: rank %d: %w", i, err)
+		}
+	}
+
+	out := grid.NewGrid2D(cfg.N[0], cfg.N[1], initial.HX, initial.HY)
+	out.Step = initial.Step + steps
+	for _, r := range ranks {
+		r.Territory(out)
+	}
+	return secs, checksum2D(out), nil
+}

@@ -1,0 +1,58 @@
+package core
+
+// Window extents: the spatial footprint a block covers over a whole
+// region window, used by the distributed layer to split a region's
+// block set into halo-dependent and interior subsets (the overlapped
+// exchange runs interior blocks while halo strips are in flight).
+
+// WindowExtent0 returns the union of block b's unclipped update
+// extents in dimension 0 over region r's clamped time window
+// [T0, T1), and reports whether the block updates anything at all in
+// the window (ok == false means every cross-section is empty and the
+// block is a no-op).
+//
+// The union is exact, by the shape of the §3 geometry: a stage
+// block's per-dimension extent moves linearly with the local step
+// (shrinking for normal dimensions, expanding for glued ones), so it
+// is extremal at a window end; a diamond's extent widens linearly to
+// its waist at tau = 0 (t = Ref-1) and narrows again, so it is
+// extremal at the waist or, when clamping cuts the waist out of the
+// window, at a window end. Evaluating those candidate times covers
+// every case. Times whose dimension-0 cross-section is empty
+// contribute nothing; for either shape the non-empty times form a
+// contiguous range containing the widest cross-section, so skipping
+// them never hides an extremum.
+func (c *Config) WindowExtent0(r *Region, b *Block) (lo, hi int, ok bool) {
+	if r.T0 >= r.T1 {
+		return 0, 0, false
+	}
+	times := [3]int{r.T0, r.T1 - 1, 0}
+	n := 2
+	if r.Diamond {
+		tc := r.Ref - 1 // tau = 0: the diamond waist
+		if tc < r.T0 {
+			tc = r.T0
+		}
+		if tc > r.T1-1 {
+			tc = r.T1 - 1
+		}
+		times[2] = tc
+		n = 3
+	}
+	blo := make([]int, c.Dims())
+	bhi := make([]int, c.Dims())
+	for i := 0; i < n; i++ {
+		c.Bounds(r, b, times[i], blo, bhi)
+		if blo[0] >= bhi[0] {
+			continue
+		}
+		if !ok || blo[0] < lo {
+			lo = blo[0]
+		}
+		if !ok || bhi[0] > hi {
+			hi = bhi[0]
+		}
+		ok = true
+	}
+	return lo, hi, ok
+}

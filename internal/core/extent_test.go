@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteExtent0 unions the dimension-0 extent over every time of the
+// window, the oracle WindowExtent0 must match exactly.
+func bruteExtent0(c *Config, r *Region, b *Block) (lo, hi int, ok bool) {
+	blo := make([]int, c.Dims())
+	bhi := make([]int, c.Dims())
+	for t := r.T0; t < r.T1; t++ {
+		c.Bounds(r, b, t, blo, bhi)
+		if blo[0] >= bhi[0] {
+			continue
+		}
+		if !ok || blo[0] < lo {
+			lo = blo[0]
+		}
+		if !ok || bhi[0] > hi {
+			hi = bhi[0]
+		}
+		ok = true
+	}
+	return lo, hi, ok
+}
+
+func TestWindowExtent0MatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		d := 1 + rng.Intn(3)
+		cfg := Config{
+			N:      make([]int, d),
+			Slopes: make([]int, d),
+			Big:    make([]int, d),
+			BT:     1 + rng.Intn(4),
+			Merge:  rng.Intn(2) == 0,
+		}
+		for k := 0; k < d; k++ {
+			cfg.Slopes[k] = 1 + rng.Intn(2)
+			minBig := 2 * cfg.BT * cfg.Slopes[k]
+			cfg.Big[k] = minBig + rng.Intn(minBig+6)
+			cfg.N[k] = 8 + rng.Intn(120/d)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("iter %d: invalid fuzz config: %v", iter, err)
+		}
+		steps := 1 + rng.Intn(3*cfg.BT+4)
+		for ri, reg := range cfg.Regions(steps) {
+			reg := reg
+			for bi := range reg.Blocks {
+				b := &reg.Blocks[bi]
+				glo, ghi, gok := cfg.WindowExtent0(&reg, b)
+				wlo, whi, wok := bruteExtent0(&cfg, &reg, b)
+				if gok != wok || (gok && (glo != wlo || ghi != whi)) {
+					t.Fatalf("iter %d region %d block %d: WindowExtent0 = (%d,%d,%v), brute force = (%d,%d,%v); cfg=%+v window=[%d,%d) ref=%d diamond=%v origin=%v glued=%b",
+						iter, ri, bi, glo, ghi, gok, wlo, whi, wok, cfg, reg.T0, reg.T1, reg.Ref, reg.Diamond, b.Origin, b.Glued)
+				}
+			}
+		}
+	}
+}
+
+func TestWindowExtent0EmptyWindow(t *testing.T) {
+	cfg := Config{N: []int{32, 32}, Slopes: []int{1, 1}, BT: 2, Big: []int{8, 8}, Merge: true}
+	regs := cfg.Regions(6)
+	r := &regs[0]
+	empty := *r
+	empty.T1 = empty.T0
+	if _, _, ok := cfg.WindowExtent0(&empty, &r.Blocks[0]); ok {
+		t.Fatal("empty window reported a non-empty extent")
+	}
+}

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error FaultTransport surfaces for a fault it was
+// told to inject.
+var ErrInjected = errors.New("dist: injected transport fault")
+
+// FaultTransport wraps a Transport and injects failures and latency
+// for tests and benchmarks: configurable per-operation delays (which
+// double as the latency padding in the overlap benchmark), and
+// fail-after-N triggers that make every operation past a threshold
+// return ErrInjected — once tripped, a trigger stays tripped, like a
+// peer that died. All knobs are safe to poke from other goroutines
+// while exchanges run.
+type FaultTransport struct {
+	Inner Transport
+
+	mu        sync.Mutex
+	sendDelay time.Duration
+	recvDelay time.Duration
+	failSend  int // Sends remaining before injection; -1 = disarmed
+	failRecv  int
+	sends     int // operations forwarded to the inner transport
+	recvs     int
+}
+
+// NewFaultTransport wraps inner with no faults armed.
+func NewFaultTransport(inner Transport) *FaultTransport {
+	return &FaultTransport{Inner: inner, failSend: -1, failRecv: -1}
+}
+
+// SetSendDelay makes every subsequent Send sleep d before forwarding.
+func (f *FaultTransport) SetSendDelay(d time.Duration) {
+	f.mu.Lock()
+	f.sendDelay = d
+	f.mu.Unlock()
+}
+
+// SetRecvDelay makes every subsequent Recv sleep d before forwarding.
+func (f *FaultTransport) SetRecvDelay(d time.Duration) {
+	f.mu.Lock()
+	f.recvDelay = d
+	f.mu.Unlock()
+}
+
+// FailSendAfter arms send injection: the next n Sends succeed, every
+// later one returns ErrInjected without touching the inner transport.
+// Negative n disarms.
+func (f *FaultTransport) FailSendAfter(n int) {
+	f.mu.Lock()
+	f.failSend = n
+	f.mu.Unlock()
+}
+
+// FailRecvAfter arms recv injection like FailSendAfter.
+func (f *FaultTransport) FailRecvAfter(n int) {
+	f.mu.Lock()
+	f.failRecv = n
+	f.mu.Unlock()
+}
+
+// Sends reports operations forwarded to the inner transport.
+func (f *FaultTransport) Sends() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sends
+}
+
+// Recvs reports operations forwarded to the inner transport.
+func (f *FaultTransport) Recvs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.recvs
+}
+
+// before applies the delay and injection policy for one operation;
+// inject reports whether the caller must return ErrInjected.
+func (f *FaultTransport) before(delay *time.Duration, remaining, forwarded *int) (inject bool) {
+	f.mu.Lock()
+	d := *delay
+	f.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case *remaining < 0: // disarmed
+	case *remaining == 0: // tripped; stays tripped
+		return true
+	default:
+		*remaining--
+	}
+	*forwarded++
+	return false
+}
+
+// Send implements Transport with the armed delay and injection.
+func (f *FaultTransport) Send(peer int, data []float64) error {
+	if f.before(&f.sendDelay, &f.failSend, &f.sends) {
+		return ErrInjected
+	}
+	return f.Inner.Send(peer, data)
+}
+
+// Recv implements Transport with the armed delay and injection.
+func (f *FaultTransport) Recv(peer int, buf []float64) error {
+	if f.before(&f.recvDelay, &f.failRecv, &f.recvs) {
+		return ErrInjected
+	}
+	return f.Inner.Recv(peer, buf)
+}

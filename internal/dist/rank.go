@@ -57,9 +57,9 @@ type Rank struct {
 	local      *grid.Grid2D // interior = [X0-ExtLo, X1+ExtHi) x NY
 	h          int          // exchange-halo width
 	xbase      int          // global x of local interior column 0
-	// Exchange staging buffer: both parity buffers of an h-wide strip.
-	strip []float64
-	// Stats.
+	ex         *exchanger
+	overlap    bool
+	// Stats, mirrored from the exchanger after each Run.
 	MessagesSent int
 	FloatsSent   int64
 }
@@ -96,9 +96,16 @@ func NewRank(id, nranks int, tr Transport, cfg *core.Config, spec *stencil.Spec,
 	}
 	ny := cfg.N[1]
 	r.local = grid.NewGrid2D(p.ExtLo+p.Width()+p.ExtHi, ny, spec.Slopes[0], spec.Slopes[1])
-	r.strip = make([]float64, 2*h*ny)
+	r.ex = newExchanger(tr, id, nranks, p, h, 2*h*ny, r.packStrip, r.unpackStrip)
 	return r, nil
 }
+
+// SetOverlap selects the overlapped exchange: halo swaps run
+// concurrently with the region's interior blocks, and only the
+// halo-dependent blocks wait for them. Output is bitwise identical to
+// the synchronous default. Requires a full-duplex Transport (both
+// built-in transports are).
+func (r *Rank) SetOverlap(on bool) { r.overlap = on }
 
 // Close releases the rank's worker pool.
 func (r *Rank) Close() { r.pool.Close() }
@@ -149,35 +156,102 @@ func (r *Rank) Territory(dst *grid.Grid2D) {
 // Run advances the rank's slab by steps time steps. All ranks must call
 // Run with the same arguments; the call blocks on neighbour exchanges.
 func (r *Rank) Run(steps int) error {
-	regions := r.cfg.Regions(steps)
-	for _, reg := range regions {
-		if err := r.exchange(); err != nil {
+	for _, reg := range r.cfg.Regions(steps) {
+		reg := reg
+		mine := selectBlocks(r.cfg, &reg, r.part)
+		if !r.overlap || r.NRanks == 1 {
+			if err := r.exchange(); err != nil {
+				return err
+			}
+			r.runBlocks(&reg, mine, "")
+			continue
+		}
+		halo, interior := splitByHalo(r.cfg, &reg, mine, r.part, r.ID, r.NRanks)
+		r.ex.start()
+		r.runBlocks(&reg, interior, "interior")
+		if err := r.waitExchange(); err != nil {
 			return err
 		}
-		reg := reg
-		// Blocks whose maximal x extent intersects the territory. The
-		// glued-in-x blocks sit half a lattice period to the right of
-		// their tile origin.
-		var mine []int
-		for bi := range reg.Blocks {
-			b := &reg.Blocks[bi]
-			xlo := b.Origin[0]
-			if !reg.Diamond && b.Glued&1 != 0 {
-				xlo += r.cfg.Spacing(0) / 2
-			}
-			if xlo < r.part.X1 && xlo+r.cfg.Big[0] > r.part.X0 {
-				mine = append(mine, bi)
-			}
-		}
-		r.pool.For(len(mine), func(i int) {
-			b := &reg.Blocks[mine[i]]
-			for t := reg.T0; t < reg.T1; t++ {
-				r.runBox(b, &reg, t)
-			}
-		})
+		r.runBlocks(&reg, halo, "halo")
 	}
 	r.local.Step += steps
+	r.MessagesSent, r.FloatsSent = r.ex.messages, r.ex.floats
 	return nil
+}
+
+// selectBlocks returns the indices of the region's blocks whose
+// maximal x extent intersects the territory. The glued-in-x blocks sit
+// half a lattice period to the right of their tile origin.
+func selectBlocks(c *core.Config, reg *core.Region, part Partition) []int {
+	var mine []int
+	for bi := range reg.Blocks {
+		b := &reg.Blocks[bi]
+		xlo := b.Origin[0]
+		if !reg.Diamond && b.Glued&1 != 0 {
+			xlo += c.Spacing(0) / 2
+		}
+		if xlo < part.X1 && xlo+c.Big[0] > part.X0 {
+			mine = append(mine, bi)
+		}
+	}
+	return mine
+}
+
+// splitByHalo partitions a rank's block list into halo-dependent and
+// interior sets. A block is interior iff its dimension-0 read
+// footprint over the whole region window — the exact update extent
+// from core.WindowExtent0 padded by the stencil slope, clipped to the
+// domain — avoids both exchange strips [X0-h, X0) and [X1, X1+h).
+// Interior blocks therefore read nothing an in-flight exchange will
+// overwrite and write nothing the strips snapshot, so they can run
+// while the exchange is airborne without perturbing a single bit
+// (region independence covers the reordering against halo blocks).
+func splitByHalo(c *core.Config, reg *core.Region, mine []int, part Partition, id, nranks int) (halo, interior []int) {
+	s := c.Slopes[0]
+	for _, bi := range mine {
+		b := &reg.Blocks[bi]
+		lo, hi, ok := c.WindowExtent0(reg, b)
+		if !ok { // updates nothing in this window
+			interior = append(interior, bi)
+			continue
+		}
+		rlo, rhi := lo-s, hi+s
+		if rlo < 0 {
+			rlo = 0
+		}
+		if rhi > c.N[0] {
+			rhi = c.N[0]
+		}
+		if (id > 0 && rlo < part.X0) || (id < nranks-1 && rhi > part.X1) {
+			halo = append(halo, bi)
+		} else {
+			interior = append(interior, bi)
+		}
+	}
+	return halo, interior
+}
+
+// runBlocks executes the listed blocks of the region on the pool. A
+// non-empty span name records the batch on the rank's compute lane, so
+// traces of overlapped runs show "interior" under the in-flight
+// exchange and "halo" after it.
+func (r *Rank) runBlocks(reg *core.Region, idxs []int, span string) {
+	if len(idxs) == 0 {
+		return
+	}
+	start := time.Now()
+	r.pool.For(len(idxs), func(i int) {
+		b := &reg.Blocks[idxs[i]]
+		for t := reg.T0; t < reg.T1; t++ {
+			r.runBox(b, reg, t)
+		}
+	})
+	if span != "" && telemetry.Enabled() {
+		telemetry.DefaultTracer.RecordSpan(telemetry.Event{
+			Name: span, Cat: "dist", TID: r.ID, Phase: -1, Stage: -1,
+			Blocks: int64(len(idxs)),
+		}, start)
+	}
 }
 
 // runBox executes one block time slice on the local slab.
@@ -194,96 +268,34 @@ func (r *Rank) runBox(b *core.Block, reg *core.Region, t int) {
 	}
 }
 
-// exchange swaps h-wide strips of both parity buffers with both
-// neighbours, using even/odd pairwise ordering to avoid deadlock on
-// rendezvous transports.
+// exchange runs the synchronous strip swap with both neighbours,
+// recording the blocked time.
 func (r *Rank) exchange() error {
 	if r.NRanks == 1 {
 		return nil
 	}
 	if telemetry.Enabled() {
 		start := time.Now()
-		err := r.exchangeStrips()
+		err := r.ex.exchangeSync()
 		telemetry.DistExchangeSeconds.Observe(time.Since(start).Seconds())
 		telemetry.DefaultTracer.RecordSpan(telemetry.Event{
 			Name: "exchange", Cat: "dist", TID: r.ID, Phase: -1, Stage: -1,
 		}, start)
 		return err
 	}
-	return r.exchangeStrips()
+	return r.ex.exchangeSync()
 }
 
-func (r *Rank) exchangeStrips() error {
-	left, right := r.ID-1, r.ID+1
-	if r.ID%2 == 0 {
-		if right < r.NRanks {
-			if err := r.swap(right, true); err != nil {
-				return err
-			}
-		}
-		if left >= 0 {
-			if err := r.swap(left, false); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if left >= 0 {
-		if err := r.swap(left, false); err != nil {
-			return err
-		}
-	}
-	if right < r.NRanks {
-		if err := r.swap(right, true); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// swap exchanges strips with one neighbour: send our territory edge,
-// receive into our exchange halo. Even ranks send first; odd ranks
-// receive first (the caller's ordering makes the pair compatible).
-func (r *Rank) swap(peer int, rightSide bool) error {
-	sendFirst := r.ID%2 == 0
-	if sendFirst {
-		if err := r.sendStrip(peer, rightSide); err != nil {
-			return err
-		}
-		return r.recvStrip(peer, rightSide)
-	}
-	if err := r.recvStrip(peer, rightSide); err != nil {
+// waitExchange blocks on the overlapped exchange; only the un-hidden
+// remainder counts as exchange time.
+func (r *Rank) waitExchange() error {
+	if telemetry.Enabled() {
+		start := time.Now()
+		err := r.ex.wait()
+		telemetry.DistExchangeSeconds.Observe(time.Since(start).Seconds())
 		return err
 	}
-	return r.sendStrip(peer, rightSide)
-}
-
-// sendStrip packs the h territory columns adjacent to the boundary
-// (both parity buffers) and sends them.
-func (r *Rank) sendStrip(peer int, rightSide bool) error {
-	gx0 := r.part.X0 // left edge strip [X0, X0+h)
-	if rightSide {
-		gx0 = r.part.X1 - r.h // right edge strip [X1-h, X1)
-	}
-	r.pack(gx0)
-	r.MessagesSent++
-	r.FloatsSent += int64(len(r.strip))
-	countTransfer("send", peer, len(r.strip))
-	return r.tr.Send(peer, r.strip)
-}
-
-// recvStrip receives the neighbour's strip into the exchange halo.
-func (r *Rank) recvStrip(peer int, rightSide bool) error {
-	if err := r.tr.Recv(peer, r.strip); err != nil {
-		return err
-	}
-	countTransfer("recv", peer, len(r.strip))
-	gx0 := r.part.X0 - r.h // halo below territory
-	if rightSide {
-		gx0 = r.part.X1 // halo above territory
-	}
-	r.unpack(gx0)
-	return nil
+	return r.ex.wait()
 }
 
 // countTransfer records one strip transfer (floats floats of payload)
@@ -298,27 +310,29 @@ func countTransfer(dir string, peer, floats int) {
 	telemetry.DistMessages.Counter(dir, p).Inc()
 }
 
-func (r *Rank) pack(gx0 int) {
+// packStrip copies the h-wide strip starting at global column gx0
+// (both parity buffers) into buf; unpackStrip is the inverse.
+func (r *Rank) packStrip(gx0 int, buf []float64) {
 	lg := r.local
 	ny := lg.NY
 	k := 0
 	for p := 0; p < 2; p++ {
 		for x := gx0; x < gx0+r.h; x++ {
 			row := lg.Idx(x-r.xbase, 0)
-			copy(r.strip[k:k+ny], lg.Buf[p][row:row+ny])
+			copy(buf[k:k+ny], lg.Buf[p][row:row+ny])
 			k += ny
 		}
 	}
 }
 
-func (r *Rank) unpack(gx0 int) {
+func (r *Rank) unpackStrip(gx0 int, buf []float64) {
 	lg := r.local
 	ny := lg.NY
 	k := 0
 	for p := 0; p < 2; p++ {
 		for x := gx0; x < gx0+r.h; x++ {
 			row := lg.Idx(x-r.xbase, 0)
-			copy(lg.Buf[p][row:row+ny], r.strip[k:k+ny])
+			copy(lg.Buf[p][row:row+ny], buf[k:k+ny])
 			k += ny
 		}
 	}

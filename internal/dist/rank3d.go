@@ -23,7 +23,8 @@ type Rank3D struct {
 	local      *grid.Grid3D
 	h          int
 	xbase      int
-	strip      []float64
+	ex         *exchanger
+	overlap    bool
 
 	MessagesSent int
 	FloatsSent   int64
@@ -54,9 +55,12 @@ func NewRank3D(id, nranks int, tr Transport, cfg *core.Config, spec *stencil.Spe
 	r.local = grid.NewGrid3D(p.ExtLo+p.Width()+p.ExtHi, ny, nz, spec.Slopes[0], spec.Slopes[1], spec.Slopes[2])
 	// One plane = the full padded y-z slab footprint, so pack/unpack
 	// can copy whole plane rows including stencil halos.
-	r.strip = make([]float64, 2*h*r.local.SX)
+	r.ex = newExchanger(tr, id, nranks, p, h, 2*h*r.local.SX, r.packStrip, r.unpackStrip)
 	return r, nil
 }
+
+// SetOverlap selects the overlapped exchange (see Rank.SetOverlap).
+func (r *Rank3D) SetOverlap(on bool) { r.overlap = on }
 
 // Close releases the rank's worker pool.
 func (r *Rank3D) Close() { r.pool.Close() }
@@ -105,41 +109,58 @@ func (r *Rank3D) Territory(dst *grid.Grid3D) {
 // Run advances the rank's slab by steps time steps.
 func (r *Rank3D) Run(steps int) error {
 	for _, reg := range r.cfg.Regions(steps) {
-		if err := r.exchange(); err != nil {
+		reg := reg
+		mine := selectBlocks(r.cfg, &reg, r.part)
+		if !r.overlap || r.NRanks == 1 {
+			if err := r.exchange(); err != nil {
+				return err
+			}
+			r.runBlocks(&reg, mine, "")
+			continue
+		}
+		halo, interior := splitByHalo(r.cfg, &reg, mine, r.part, r.ID, r.NRanks)
+		r.ex.start()
+		r.runBlocks(&reg, interior, "interior")
+		if err := r.waitExchange(); err != nil {
 			return err
 		}
-		reg := reg
-		var mine []int
-		for bi := range reg.Blocks {
-			b := &reg.Blocks[bi]
-			xlo := b.Origin[0]
-			if !reg.Diamond && b.Glued&1 != 0 {
-				xlo += r.cfg.Spacing(0) / 2
-			}
-			if xlo < r.part.X1 && xlo+r.cfg.Big[0] > r.part.X0 {
-				mine = append(mine, bi)
-			}
-		}
-		r.pool.For(len(mine), func(i int) {
-			b := &reg.Blocks[mine[i]]
-			var lo, hi [3]int
-			lg := r.local
-			for t := reg.T0; t < reg.T1; t++ {
-				if !r.cfg.ClippedBounds(&reg, b, t, lo[:], hi[:]) {
-					continue
-				}
-				dst, src := lg.Buf[(t+1)&1], lg.Buf[t&1]
-				n := hi[2] - lo[2]
-				for x := lo[0]; x < hi[0]; x++ {
-					for y := lo[1]; y < hi[1]; y++ {
-						r.spec.K3(dst, src, lg.Idx(x-r.xbase, y, lo[2]), n, lg.SY, lg.SX)
-					}
-				}
-			}
-		})
+		r.runBlocks(&reg, halo, "halo")
 	}
 	r.local.Step += steps
+	r.MessagesSent, r.FloatsSent = r.ex.messages, r.ex.floats
 	return nil
+}
+
+// runBlocks executes the listed blocks of the region on the pool,
+// with the same span semantics as Rank.runBlocks.
+func (r *Rank3D) runBlocks(reg *core.Region, idxs []int, span string) {
+	if len(idxs) == 0 {
+		return
+	}
+	start := time.Now()
+	r.pool.For(len(idxs), func(i int) {
+		b := &reg.Blocks[idxs[i]]
+		var lo, hi [3]int
+		lg := r.local
+		for t := reg.T0; t < reg.T1; t++ {
+			if !r.cfg.ClippedBounds(reg, b, t, lo[:], hi[:]) {
+				continue
+			}
+			dst, src := lg.Buf[(t+1)&1], lg.Buf[t&1]
+			n := hi[2] - lo[2]
+			for x := lo[0]; x < hi[0]; x++ {
+				for y := lo[1]; y < hi[1]; y++ {
+					r.spec.K3(dst, src, lg.Idx(x-r.xbase, y, lo[2]), n, lg.SY, lg.SX)
+				}
+			}
+		}
+	})
+	if span != "" && telemetry.Enabled() {
+		telemetry.DefaultTracer.RecordSpan(telemetry.Event{
+			Name: span, Cat: "dist", TID: r.ID, Phase: -1, Stage: -1,
+			Blocks: int64(len(idxs)),
+		}, start)
+	}
 }
 
 func (r *Rank3D) exchange() error {
@@ -148,77 +169,37 @@ func (r *Rank3D) exchange() error {
 	}
 	if telemetry.Enabled() {
 		start := time.Now()
-		err := r.exchangeStrips()
+		err := r.ex.exchangeSync()
 		telemetry.DistExchangeSeconds.Observe(time.Since(start).Seconds())
 		telemetry.DefaultTracer.RecordSpan(telemetry.Event{
 			Name: "exchange", Cat: "dist", TID: r.ID, Phase: -1, Stage: -1,
 		}, start)
 		return err
 	}
-	return r.exchangeStrips()
+	return r.ex.exchangeSync()
 }
 
-func (r *Rank3D) exchangeStrips() error {
-	left, right := r.ID-1, r.ID+1
-	order := []struct {
-		peer      int
-		rightSide bool
-	}{{right, true}, {left, false}}
-	if r.ID%2 == 1 {
-		order[0], order[1] = order[1], order[0]
-	}
-	for _, o := range order {
-		if o.peer < 0 || o.peer >= r.NRanks {
-			continue
-		}
-		if err := r.swap(o.peer, o.rightSide); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (r *Rank3D) swap(peer int, rightSide bool) error {
-	if r.ID%2 == 0 {
-		if err := r.sendStrip(peer, rightSide); err != nil {
-			return err
-		}
-		return r.recvStrip(peer, rightSide)
-	}
-	if err := r.recvStrip(peer, rightSide); err != nil {
+func (r *Rank3D) waitExchange() error {
+	if telemetry.Enabled() {
+		start := time.Now()
+		err := r.ex.wait()
+		telemetry.DistExchangeSeconds.Observe(time.Since(start).Seconds())
 		return err
 	}
-	return r.sendStrip(peer, rightSide)
+	return r.ex.wait()
 }
 
-func (r *Rank3D) sendStrip(peer int, rightSide bool) error {
-	gx0 := r.part.X0
-	if rightSide {
-		gx0 = r.part.X1 - r.h
-	}
-	r.copyStrip(gx0, true)
-	r.MessagesSent++
-	r.FloatsSent += int64(len(r.strip))
-	countTransfer("send", peer, len(r.strip))
-	return r.tr.Send(peer, r.strip)
+// packStrip copies h whole x-planes (both parity buffers) starting at
+// global column gx0 into buf; unpackStrip is the inverse.
+func (r *Rank3D) packStrip(gx0 int, buf []float64) {
+	r.copyStrip(gx0, buf, true)
 }
 
-func (r *Rank3D) recvStrip(peer int, rightSide bool) error {
-	if err := r.tr.Recv(peer, r.strip); err != nil {
-		return err
-	}
-	countTransfer("recv", peer, len(r.strip))
-	gx0 := r.part.X0 - r.h
-	if rightSide {
-		gx0 = r.part.X1
-	}
-	r.copyStrip(gx0, false)
-	return nil
+func (r *Rank3D) unpackStrip(gx0 int, buf []float64) {
+	r.copyStrip(gx0, buf, false)
 }
 
-// copyStrip moves h whole x-planes (both parity buffers) between the
-// local grid and the staging buffer; toStrip selects the direction.
-func (r *Rank3D) copyStrip(gx0 int, toStrip bool) {
+func (r *Rank3D) copyStrip(gx0 int, buf []float64, toStrip bool) {
 	lg := r.local
 	planeLen := lg.SX
 	k := 0
@@ -227,9 +208,9 @@ func (r *Rank3D) copyStrip(gx0 int, toStrip bool) {
 			// Plane base including y/z halos.
 			base := lg.Idx(x-r.xbase, -lg.HY, -lg.HZ)
 			if toStrip {
-				copy(r.strip[k:k+planeLen], lg.Buf[p][base:base+planeLen])
+				copy(buf[k:k+planeLen], lg.Buf[p][base:base+planeLen])
 			} else {
-				copy(lg.Buf[p][base:base+planeLen], r.strip[k:k+planeLen])
+				copy(lg.Buf[p][base:base+planeLen], buf[k:k+planeLen])
 			}
 			k += planeLen
 		}

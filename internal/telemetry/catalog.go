@@ -235,12 +235,28 @@ var (
 		"tess_dist_messages_total",
 		"Halo-exchange messages, by direction (send/recv) and peer rank.",
 		"dir", "peer")
-	// DistExchangeSeconds is the wall time of each per-region halo
-	// exchange (both neighbours, both parity buffers).
+	// DistExchangeSeconds is the wall time a rank spends blocked on
+	// each per-region halo exchange: the whole exchange on the
+	// synchronous path, only the un-hidden remainder (the wait after
+	// interior blocks finish) on the overlapped path.
 	DistExchangeSeconds = Default.NewHistogramFamily(
 		"tess_dist_exchange_seconds",
-		"Wall time of each per-region halo exchange.",
+		"Wall time blocked on each per-region halo exchange (overlap hides part of it).",
 		DurationBuckets).Histogram()
+	// DistPeerExchangeSeconds is the wall time of each single-neighbour
+	// strip swap (send + recv of both parity buffers), by peer rank.
+	// This is the latency signal autotune.SearchDist folds into its
+	// trial objective: higher measured per-exchange cost pushes the
+	// search toward taller BT (fewer exchanges per step).
+	DistPeerExchangeSeconds = Default.NewHistogramFamily(
+		"tess_dist_peer_exchange_seconds",
+		"Wall time of each single-neighbour strip swap, by peer rank.",
+		DurationBuckets, "peer")
+	// DistExchangesOverlapped counts halo exchanges executed on the
+	// overlapped path (launched asynchronously under interior blocks).
+	DistExchangesOverlapped = Default.NewCounter(
+		"tess_dist_exchange_overlapped_total",
+		"Halo exchanges executed on the overlapped (hidden-latency) path.").Counter()
 )
 
 // internal/bench — the measurement harness, so stencilbench runs are
