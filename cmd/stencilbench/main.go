@@ -15,6 +15,8 @@
 //	stencilbench -compare-kernels      # row vs fused block kernel dispatch comparison
 //	stencilbench -compare-coarsening   # none vs global vs per-stage dispatch coarsening
 //	stencilbench -compare-dist         # sync vs overlapped halo exchange over loopback TCP
+//	stencilbench -pipeline             # fused multi-stage pipelines vs the naive reference
+//	stencilbench -mask                 # masked (irregular-domain) runs vs the naive reference
 //	stencilbench -paper -fig 8         # full paper problem sizes (hours!)
 //	stencilbench -threads 1,2,4,8      # thread sweep points
 //	stencilbench -fig 10 -coarsen-per-stage 8,2   # fixed per-stage coarsening vector
@@ -43,6 +45,8 @@
 //	-compare-kernels     |     yes          yes      no       yes             yes
 //	-compare-coarsening  |     yes          yes      no       yes             yes
 //	-compare-dist        |     yes          yes      no        no             yes
+//	-pipeline            |     yes          yes      no        no             yes
+//	-mask                |     yes          yes      no        no             yes
 //
 // -csv needs a single -fig to name the measurement sweep it exports;
 // combining it with -list, -ablate, -concurrency, -adaptive or
@@ -54,6 +58,11 @@
 // (the BENCH_PAR.json schema). -compare-kernels measures the row vs
 // fused-block kernel dispatch paths (BENCH_KERNELS.json schema) and
 // enforces bitwise checksum agreement between them.
+// -pipeline measures the fused multi-stage pipeline executor against
+// the barriered naive reference (rk2, split high-order and leapfrog
+// steppers; BENCH_PIPELINE.json schema, checksums enforced bitwise);
+// -mask does the same for the masked executors on L-shaped and
+// obstacle domains (BENCH_MASK.json schema).
 // -compare-dist measures the synchronous vs overlapped distributed
 // halo exchange over loopback TCP at 2 and 4 ranks, bare and with
 // injected per-message latency (BENCH_DIST.json schema, every cell's
@@ -99,6 +108,8 @@ func main() {
 		cmpKr   = flag.Bool("compare-kernels", false, "compare row vs fused block kernel dispatch on Heat-2D/3D plus a short-row sweep")
 		cmpCo   = flag.Bool("compare-coarsening", false, "compare uncoarsened vs best-global vs per-stage dispatch coarsening on Heat-2D/3D plus a fine-grain sweep")
 		cmpDs   = flag.Bool("compare-dist", false, "compare sync vs overlapped halo exchange over loopback TCP at 2/4 ranks, bare and latency-padded")
+		pipe    = flag.Bool("pipeline", false, "compare the fused multi-stage pipeline executor vs the naive reference (rk2/split/leapfrog over heat-2d, checksums enforced)")
+		mask    = flag.Bool("mask", false, "compare the masked (irregular-domain) executors vs the naive reference (lshape/obstacle, checksums enforced)")
 		coarsen = flag.String("coarsen-per-stage", "", "comma-separated per-stage dispatch coarsening factors applied to tessellation measurements (entry i = stage i)")
 		jsonOut = flag.String("json", "", "compare-placement/-compare-kernels/-compare-coarsening: also write the report as JSON to this file")
 		telAddr = flag.String("telemetry", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. :8080) and enable instrumentation")
@@ -113,17 +124,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc || *adapt || *cmpPl || *cmpKr || *cmpCo || *cmpDs) {
+	if *csvOut != "" && (*fig == "" || *fig == "all" || *list || *ablate || *conc || *adapt || *cmpPl || *cmpKr || *cmpCo || *cmpDs || *pipe || *mask) {
 		fatal(fmt.Errorf("-csv requires a single -fig (8, 9, 10, 11a, 11b or 12); it cannot be combined with -list, -ablate, -concurrency, -adaptive, -compare-placement, -compare-kernels, -compare-coarsening, -compare-dist or -fig all"))
 	}
 	if *cmpPl && (*pin || *sticky) {
 		fatal(fmt.Errorf("-compare-placement measures every placement itself; -pin/-sticky cannot be combined with it"))
 	}
-	if moreThanOne(*cmpKr, *cmpPl, *cmpCo, *cmpDs) {
-		fatal(fmt.Errorf("-compare-kernels, -compare-placement, -compare-coarsening and -compare-dist are separate modes; pick one"))
+	if moreThanOne(*cmpKr, *cmpPl, *cmpCo, *cmpDs, *pipe, *mask) {
+		fatal(fmt.Errorf("-compare-kernels, -compare-placement, -compare-coarsening, -compare-dist, -pipeline and -mask are separate modes; pick one"))
 	}
-	if *jsonOut != "" && !*cmpPl && !*cmpKr && !*cmpCo && !*cmpDs {
-		fatal(fmt.Errorf("-json is only meaningful with -compare-placement, -compare-kernels, -compare-coarsening or -compare-dist"))
+	if *jsonOut != "" && !*cmpPl && !*cmpKr && !*cmpCo && !*cmpDs && !*pipe && !*mask {
+		fatal(fmt.Errorf("-json is only meaningful with -compare-placement, -compare-kernels, -compare-coarsening, -compare-dist, -pipeline or -mask"))
 	}
 	if *coarsen != "" {
 		if *cmpCo {
@@ -183,6 +194,14 @@ func main() {
 		}
 	case *cmpDs:
 		if err := runCompareDist(os.Stdout, *scale, ths[len(ths)-1], *jsonOut); err != nil {
+			fatal(err)
+		}
+	case *pipe:
+		if err := runComparePipelines(os.Stdout, *scale, ths[len(ths)-1], *jsonOut); err != nil {
+			fatal(err)
+		}
+	case *mask:
+		if err := runCompareMasks(os.Stdout, *scale, ths[len(ths)-1], *jsonOut); err != nil {
 			fatal(err)
 		}
 	case *fig == "all":

@@ -79,18 +79,29 @@ func (c *Config) Bounds(r *Region, b *Block, t int, lo, hi []int) {
 // [0, N). It reports whether the box is non-empty.
 func (c *Config) ClippedBounds(r *Region, b *Block, t int, lo, hi []int) bool {
 	c.Bounds(r, b, t, lo, hi)
+	return ClipBox(lo, hi, c.N)
+}
+
+// ClipBox intersects the box [lo, hi) with the domain [0, n) in place
+// and reports whether the result is non-empty. It is the one
+// boundary-clipping primitive shared by ClippedBounds, the masked and
+// pipeline executors, and examples that clip their own sub-boxes —
+// keeping "how a box meets the domain edge" defined in exactly one
+// place.
+func ClipBox(lo, hi, n []int) bool {
+	ok := true
 	for k := range lo {
 		if lo[k] < 0 {
 			lo[k] = 0
 		}
-		if hi[k] > c.N[k] {
-			hi[k] = c.N[k]
+		if hi[k] > n[k] {
+			hi[k] = n[k]
 		}
 		if lo[k] >= hi[k] {
-			return false
+			ok = false
 		}
 	}
-	return true
+	return ok
 }
 
 // base returns the lattice offset of dimension k at the given phase

@@ -1,0 +1,245 @@
+package naive
+
+import (
+	"fmt"
+
+	"tessellate/internal/grid"
+	"tessellate/internal/par"
+	"tessellate/internal/stencil"
+)
+
+// Pipeline reference runners: one full-grid sweep per stage per time
+// step, stages strictly in order, intermediates in single whole-grid
+// buffers sharing the state grid's layout. This is the plain meaning of
+// a multi-stage step — what the fused tessellated executors must
+// reproduce bit-for-bit. Intermediate buffers are initialised to the
+// pipeline's TmpHalo and written only on the (active) interior, so
+// out-of-domain and masked-out intermediate reads see TmpHalo in both
+// schemes by the same mechanism.
+
+// checkPipeline validates p against the runner's dimensionality.
+func checkPipeline(p *stencil.Pipeline, dims int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Dims() != dims {
+		return fmt.Errorf("naive: pipeline %s is %dD, not %dD", p.Name, p.Dims(), dims)
+	}
+	return nil
+}
+
+// newTmp allocates the intermediate slot buffers.
+func newTmp(n, buflen int, halo float64) [][]float64 {
+	tmp := make([][]float64, n)
+	for j := range tmp {
+		s := make([]float64, buflen)
+		if halo != 0 {
+			for i := range s {
+				s[i] = halo
+			}
+		}
+		tmp[j] = s
+	}
+	return tmp
+}
+
+// pickSlot resolves a stage input slot to its backing buffer.
+func pickSlot(slot int, tmp [][]float64, src, dst []float64) []float64 {
+	switch slot {
+	case stencil.PrevState:
+		return dst
+	case 0:
+		return src
+	default:
+		return tmp[slot-1]
+	}
+}
+
+// RunPipeline1D advances g by steps logical time steps of the pipeline.
+// A non-nil mask restricts every stage to its active points.
+func RunPipeline1D(g *grid.Grid1D, p *stencil.Pipeline, steps int, pool *par.Pool, m *grid.Mask) error {
+	if err := checkPipeline(p, 1); err != nil {
+		return err
+	}
+	if m != nil {
+		if err := checkMask(m, []int{g.N}); err != nil {
+			return err
+		}
+	}
+	nst := len(p.Stages)
+	kern := make([]stencil.Kernel1DBlock, nst)
+	for i, st := range p.Stages {
+		if st.Spec != nil {
+			kern[i], _ = st.Spec.Resolve1D(stencil.ActivePath())
+		}
+	}
+	tmp := newTmp(nst-1, len(g.Buf[0]), p.TmpHalo)
+	h := g.H
+	for t := 0; t < steps; t++ {
+		src := g.Buf[g.Step&1]
+		dst := g.Buf[(g.Step+1)&1]
+		for i := range p.Stages {
+			st := &p.Stages[i]
+			out := dst
+			if i < nst-1 {
+				out = tmp[i]
+			}
+			run := func(a, b int) {
+				if st.Spec != nil {
+					kern[i](out, pickSlot(st.In, tmp, src, dst), a+h, b+h)
+					return
+				}
+				ia := pickSlot(st.In, tmp, src, dst)
+				ib := pickSlot(st.InB, tmp, src, dst)
+				stencil.BlendRow(out, ia, st.A, ib, st.B, a+h, b+h)
+			}
+			if m == nil {
+				run(0, g.N)
+				continue
+			}
+			for a := 0; ; {
+				ra, rb := m.NextRun(0, a, g.N)
+				if ra >= g.N {
+					break
+				}
+				run(ra, rb)
+				a = rb
+			}
+		}
+		g.Step++
+	}
+	return nil
+}
+
+// RunPipeline2D advances g by steps logical time steps of the pipeline,
+// parallelising each stage over rows (stages remain strict barriers).
+func RunPipeline2D(g *grid.Grid2D, p *stencil.Pipeline, steps int, pool *par.Pool, m *grid.Mask) error {
+	if err := checkPipeline(p, 2); err != nil {
+		return err
+	}
+	if m != nil {
+		if err := checkMask(m, []int{g.NX, g.NY}); err != nil {
+			return err
+		}
+	}
+	nst := len(p.Stages)
+	kern := make([]stencil.Kernel2DBlock, nst)
+	for i, st := range p.Stages {
+		if st.Spec != nil {
+			kern[i], _ = st.Spec.Resolve2D(stencil.ActivePath())
+		}
+	}
+	tmp := newTmp(nst-1, len(g.Buf[0]), p.TmpHalo)
+	for t := 0; t < steps; t++ {
+		src := g.Buf[g.Step&1]
+		dst := g.Buf[(g.Step+1)&1]
+		for i := range p.Stages {
+			st := &p.Stages[i]
+			out := dst
+			if i < nst-1 {
+				out = tmp[i]
+			}
+			row := func(x, a, b int) {
+				if st.Spec != nil {
+					kern[i](out, pickSlot(st.In, tmp, src, dst), g.Idx(x, a), 1, b-a, g.SY)
+					return
+				}
+				ia := pickSlot(st.In, tmp, src, dst)
+				ib := pickSlot(st.InB, tmp, src, dst)
+				base := g.Idx(x, a)
+				stencil.BlendRow(out, ia, st.A, ib, st.B, base, base+(b-a))
+			}
+			run := func(x int) {
+				if m == nil {
+					row(x, 0, g.NY)
+					return
+				}
+				for a := 0; ; {
+					ra, rb := m.NextRun(x, a, g.NY)
+					if ra >= g.NY {
+						break
+					}
+					row(x, ra, rb)
+					a = rb
+				}
+			}
+			if pool == nil {
+				for x := 0; x < g.NX; x++ {
+					run(x)
+				}
+			} else {
+				pool.For(g.NX, run)
+			}
+		}
+		g.Step++
+	}
+	return nil
+}
+
+// RunPipeline3D advances g by steps logical time steps of the pipeline,
+// parallelising each stage over planes (stages remain strict barriers).
+func RunPipeline3D(g *grid.Grid3D, p *stencil.Pipeline, steps int, pool *par.Pool, m *grid.Mask) error {
+	if err := checkPipeline(p, 3); err != nil {
+		return err
+	}
+	if m != nil {
+		if err := checkMask(m, []int{g.NX, g.NY, g.NZ}); err != nil {
+			return err
+		}
+	}
+	nst := len(p.Stages)
+	kern := make([]stencil.Kernel3DBlock, nst)
+	for i, st := range p.Stages {
+		if st.Spec != nil {
+			kern[i], _ = st.Spec.Resolve3D(stencil.ActivePath())
+		}
+	}
+	tmp := newTmp(nst-1, len(g.Buf[0]), p.TmpHalo)
+	for t := 0; t < steps; t++ {
+		src := g.Buf[g.Step&1]
+		dst := g.Buf[(g.Step+1)&1]
+		for i := range p.Stages {
+			st := &p.Stages[i]
+			out := dst
+			if i < nst-1 {
+				out = tmp[i]
+			}
+			pencil := func(x, y, a, b int) {
+				if st.Spec != nil {
+					kern[i](out, pickSlot(st.In, tmp, src, dst), g.Idx(x, y, a), 1, 1, b-a, g.SY, g.SX)
+					return
+				}
+				ia := pickSlot(st.In, tmp, src, dst)
+				ib := pickSlot(st.InB, tmp, src, dst)
+				base := g.Idx(x, y, a)
+				stencil.BlendRow(out, ia, st.A, ib, st.B, base, base+(b-a))
+			}
+			run := func(x int) {
+				for y := 0; y < g.NY; y++ {
+					if m == nil {
+						pencil(x, y, 0, g.NZ)
+						continue
+					}
+					row := x*g.NY + y
+					for a := 0; ; {
+						ra, rb := m.NextRun(row, a, g.NZ)
+						if ra >= g.NZ {
+							break
+						}
+						pencil(x, y, ra, rb)
+						a = rb
+					}
+				}
+			}
+			if pool == nil {
+				for x := 0; x < g.NX; x++ {
+					run(x)
+				}
+			} else {
+				pool.For(g.NX, run)
+			}
+		}
+		g.Step++
+	}
+	return nil
+}

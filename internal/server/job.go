@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tessellate/internal/core"
+	"tessellate/internal/grid"
 	"tessellate/internal/stencil"
 )
 
@@ -52,6 +53,11 @@ type JobRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Boundary overrides the halo value (nil = DefaultBoundary).
 	Boundary *float64 `json:"boundary,omitempty"`
+	// Mask restricts the update to a named irregular domain ("lshape"
+	// or "obstacle", see grid.NamedMask); inactive cells stay frozen at
+	// their seeded values. Masks require a built-in kernel: the generic
+	// star/box executor is unmasked.
+	Mask string `json:"mask,omitempty"`
 	// Options tunes the tessellation (zero value = auto-tiled).
 	Options JobOptions `json:"options,omitempty"`
 	// Stream selects NDJSON event streaming: a "queued" event at
@@ -101,6 +107,7 @@ type job struct {
 	tenant   string           // sanitized + interned metric label
 	spec     *stencil.Spec    // built-in path (rank 1-3)
 	gen      *stencil.Generic // generic path (any rank)
+	mask     *grid.Mask       // resolved named mask, nil when unmasked
 	sched    *core.Schedule   // resolved at admission (see prepare)
 	cost     int64            // DRR service cost: points x steps, >= 1
 	ckey     string           // result-cache key (set in prepare)
@@ -204,6 +211,16 @@ func (s *Server) prepare(j *job) error {
 	} else {
 		slopes = j.gen.Slopes
 	}
+	if j.req.Mask != "" {
+		if j.spec == nil {
+			return fmt.Errorf("mask %q requires a built-in kernel (generic star/box jobs run unmasked)", j.req.Mask)
+		}
+		m, err := grid.NamedMask(j.req.Mask, j.req.N)
+		if err != nil {
+			return err
+		}
+		j.mask = m
+	}
 	cfg := jobConfig(j.req.N, slopes, &j.req.Options)
 	sched, err := s.sched.Get(&cfg, j.req.Steps)
 	if err != nil {
@@ -211,8 +228,15 @@ func (s *Server) prepare(j *job) error {
 	}
 	j.sched = sched
 	cost := int64(1)
-	for _, nk := range j.req.N {
-		cost *= int64(nk) // admission bounded the product, no overflow
+	if j.mask != nil {
+		// A masked job updates only its active points; costing (and
+		// reporting, via the cached path's Updates) the active set keeps
+		// DRR service proportional to actual work.
+		cost = int64(j.mask.ActiveCount())
+	} else {
+		for _, nk := range j.req.N {
+			cost *= int64(nk) // admission bounded the product, no overflow
+		}
 	}
 	cost *= int64(j.req.Steps)
 	if cost < 1 {

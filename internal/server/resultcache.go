@@ -75,10 +75,17 @@ func newResultCache(maxEntries int, maxBytes int64) *resultCache {
 // resultKey renders a job's deterministic identity. Built with strconv
 // appends like core.scheduleKey so a lookup costs one small
 // allocation. The boundary is keyed by its exact bit pattern: two
-// boundaries that differ in any bit are different simulations.
+// boundaries that differ in any bit are different simulations. The
+// mask name is part of the identity: a masked run freezes cells an
+// unmasked run updates, so the same (kernel, n, steps, seed, boundary)
+// under different masks are different simulations and must never share
+// an entry. Kernel names and mask names contain no '|', so the
+// delimited rendering is injective.
 func resultKey(req *JobRequest, order int, boundary float64) string {
 	b := make([]byte, 0, 96)
 	b = append(b, req.Kernel...)
+	b = append(b, '|')
+	b = append(b, req.Mask...)
 	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(order), 10)
 	b = append(b, '|')

@@ -461,6 +461,11 @@ func (s *Server) run(e *engine, j *job) error {
 		Steps:   req.Steps,
 		Updates: points * int64(req.Steps),
 	}
+	if j.mask != nil {
+		// Masked jobs update only active points; the mask executors skip
+		// and guard the rest.
+		j.res.Updates = int64(j.mask.ActiveCount()) * int64(req.Steps)
+	}
 
 	// The schedule was resolved and validated at admission (prepare),
 	// so reaching an engine with a config error is impossible by
@@ -472,7 +477,13 @@ func (s *Server) run(e *engine, j *job) error {
 		case 1:
 			g := e.arena.Grid1D(req.N[0], j.spec.Slopes[0])
 			SeedGrid1D(g, req.Kernel, req.Seed, bd)
-			if err := core.RunScheduled1DStop(g, j.spec, sched, e.pool, &j.stop); err != nil {
+			var err error
+			if j.mask != nil {
+				err = core.RunScheduledMasked1DStop(g, j.spec, sched, e.pool, &j.stop, j.mask)
+			} else {
+				err = core.RunScheduled1DStop(g, j.spec, sched, e.pool, &j.stop)
+			}
+			if err != nil {
 				e.arena.Release(g)
 				return err
 			}
@@ -481,7 +492,13 @@ func (s *Server) run(e *engine, j *job) error {
 		case 2:
 			g := e.arena.Grid2D(req.N[0], req.N[1], j.spec.Slopes[0], j.spec.Slopes[1])
 			SeedGrid2D(g, req.Kernel, req.Seed, bd)
-			if err := core.RunScheduled2DStop(g, j.spec, sched, e.pool, &j.stop); err != nil {
+			var err error
+			if j.mask != nil {
+				err = core.RunScheduledMasked2DStop(g, j.spec, sched, e.pool, &j.stop, j.mask)
+			} else {
+				err = core.RunScheduled2DStop(g, j.spec, sched, e.pool, &j.stop)
+			}
+			if err != nil {
 				e.arena.Release(g)
 				return err
 			}
@@ -491,7 +508,13 @@ func (s *Server) run(e *engine, j *job) error {
 			g := e.arena.Grid3D(req.N[0], req.N[1], req.N[2],
 				j.spec.Slopes[0], j.spec.Slopes[1], j.spec.Slopes[2])
 			SeedGrid3D(g, req.Kernel, req.Seed, bd)
-			if err := core.RunScheduled3DStop(g, j.spec, sched, e.pool, &j.stop); err != nil {
+			var err error
+			if j.mask != nil {
+				err = core.RunScheduledMasked3DStop(g, j.spec, sched, e.pool, &j.stop, j.mask)
+			} else {
+				err = core.RunScheduled3DStop(g, j.spec, sched, e.pool, &j.stop)
+			}
+			if err != nil {
 				e.arena.Release(g)
 				return err
 			}

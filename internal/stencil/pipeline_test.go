@@ -1,0 +1,159 @@
+package stencil
+
+import (
+	"strings"
+	"testing"
+)
+
+// rk2ish is the SSP-RK2 shape used throughout the pipeline tests:
+// two applications of a spec followed by a half-half blend with the
+// state.
+func rk2ish(s *Spec) *Pipeline {
+	return &Pipeline{
+		Name: "rk2-" + s.Name,
+		Stages: []Stage{
+			{Spec: s, In: 0},
+			{Spec: s, In: 1},
+			{A: 0.5, In: 0, B: 0.5, InB: 2},
+		},
+	}
+}
+
+func TestPipelineValidate(t *testing.T) {
+	ok := []*Pipeline{
+		{Name: "single", Stages: []Stage{{Spec: Heat2D, In: 0}}},
+		rk2ish(Heat1D),
+		rk2ish(Heat3D),
+		{Name: "leapfrog", Stages: []Stage{
+			{Spec: Heat2D, In: 0},
+			{A: 2, In: 1, B: -1, InB: PrevState},
+		}},
+		{Name: "chain", Stages: []Stage{
+			{Spec: Heat2D, In: 0},
+			{Spec: Box2D9, In: 1},
+		}},
+	}
+	for _, p := range ok {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: unexpected error: %v", p.Name, err)
+		}
+	}
+
+	bad := []struct {
+		p    *Pipeline
+		want string
+	}{
+		{&Pipeline{Name: "empty"}, "no stages"},
+		{&Pipeline{Name: "blend-only", Stages: []Stage{{A: 1, In: 0, B: 0, InB: 0}}}, "no stencil stage"},
+		{&Pipeline{Name: "mixed-dims", Stages: []Stage{
+			{Spec: Heat1D, In: 0}, {Spec: Heat2D, In: 1},
+		}}, "earlier stages are"},
+		{&Pipeline{Name: "forward-ref", Stages: []Stage{
+			{Spec: Heat2D, In: 1}, {Spec: Heat2D, In: 1},
+		}}, "reads slot 1"},
+		{&Pipeline{Name: "self-ref", Stages: []Stage{
+			{Spec: Heat2D, In: 0}, {A: 1, In: 2, B: 0, InB: 0},
+		}}, "reads slot 2"},
+		{&Pipeline{Name: "prev-in-spec", Stages: []Stage{
+			{Spec: Heat2D, In: PrevState}, {Spec: Heat2D, In: 1},
+		}}, "only readable by blend"},
+		{&Pipeline{Name: "prev-early", Stages: []Stage{
+			{Spec: Heat2D, In: 0},
+			{A: 1, In: 1, B: 1, InB: PrevState},
+			{Spec: Heat2D, In: 2},
+		}}, "only readable by the final stage"},
+	}
+	for _, tc := range bad {
+		err := tc.p.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.p.Name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.p.Name, err, tc.want)
+		}
+	}
+}
+
+func TestPipelineSlopes(t *testing.T) {
+	p := rk2ish(Heat2D)
+	if got := p.Slopes(); got[0] != 2 || got[1] != 2 {
+		t.Fatalf("compound slopes = %v, want [2 2]", got)
+	}
+	if got := p.StageSlopes(2); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("blend stage slopes = %v, want [0 0]", got)
+	}
+	if p.NumStages() != 3 || p.NumTmp() != 2 || p.Dims() != 2 {
+		t.Fatalf("NumStages/NumTmp/Dims = %d/%d/%d", p.NumStages(), p.NumTmp(), p.Dims())
+	}
+
+	// Mixed-slope chain: P1D5 (slope 2) then Heat1D (slope 1).
+	q := &Pipeline{Name: "mixed", Stages: []Stage{
+		{Spec: P1D5, In: 0},
+		{Spec: Heat1D, In: 1},
+		{A: 1, In: 2, B: 0, InB: 0},
+	}}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Slopes(); got[0] != 3 {
+		t.Fatalf("compound slope = %v, want [3]", got)
+	}
+	grow := q.SuffixSlopes()
+	want := [][]int{{1}, {0}, {0}}
+	for i := range want {
+		if grow[i][0] != want[i][0] {
+			t.Fatalf("SuffixSlopes = %v, want %v", grow, want)
+		}
+	}
+}
+
+// SuffixSlopes invariants: grow[last] is zero, grow[i] = grow[i+1] +
+// slopes(stage i+1), and grow[0] + slopes(stage 0) = compound.
+func TestSuffixSlopesInvariants(t *testing.T) {
+	p := &Pipeline{Name: "inv", Stages: []Stage{
+		{Spec: P1D5, In: 0},
+		{A: 1, In: 1, B: 0, InB: 0},
+		{Spec: Heat1D, In: 1},
+		{Spec: Heat1D, In: 3},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	grow := p.SuffixSlopes()
+	m := len(p.Stages)
+	if grow[m-1][0] != 0 {
+		t.Fatalf("grow[last] = %v, want 0", grow[m-1])
+	}
+	for i := 0; i < m-1; i++ {
+		if grow[i][0] != grow[i+1][0]+p.StageSlopes(i + 1)[0] {
+			t.Fatalf("grow recurrence broken at %d: %v", i, grow)
+		}
+	}
+	if grow[0][0]+p.StageSlopes(0)[0] != p.Slopes()[0] {
+		t.Fatalf("grow[0]+slope(0) = %d, want compound %d", grow[0][0]+p.StageSlopes(0)[0], p.Slopes()[0])
+	}
+}
+
+func TestBlendRow(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40}
+	dst := make([]float64, 4)
+	BlendRow(dst, a, 0.5, b, 2, 1, 3)
+	if dst[0] != 0 || dst[3] != 0 {
+		t.Fatal("BlendRow wrote outside [lo, hi)")
+	}
+	if dst[1] != 0.5*2+2*20 || dst[2] != 0.5*3+2*30 {
+		t.Fatalf("BlendRow = %v", dst)
+	}
+	// Aliasing: b == dst is the PrevState read; each element must be
+	// read before it is written.
+	d2 := []float64{100, 200, 300, 400}
+	BlendRow(d2, a, 1, d2, -1, 0, 4)
+	want := []float64{1 - 100, 2 - 200, 3 - 300, 4 - 400}
+	for i := range want {
+		if d2[i] != want[i] {
+			t.Fatalf("aliased BlendRow = %v, want %v", d2, want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package tessellate
+
+import (
+	"fmt"
+
+	"tessellate/internal/core"
+	"tessellate/internal/naive"
+)
+
+// Multi-stage pipelines and masked (irregular) domains ride the same
+// tessellation geometry as plain runs: a pipeline's compound slope
+// (per-dimension sum of its stage slopes) drives the tiling, and a
+// mask's per-block activity summary keeps fully-active blocks on the
+// unchanged fast path while fully-frozen blocks are skipped outright.
+// Both support the Tessellation and Naive schemes; results are bitwise
+// identical between the two.
+
+// checkPipelineRun validates the common pipeline-run arguments and
+// returns the compound slopes the tessellation geometry runs at.
+func checkPipelineRun(p *Pipeline, dims, steps int, opt Options) ([]int, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("tessellate: negative steps %d", steps)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("tessellate: nil pipeline")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if d := p.Dims(); d != dims {
+		return nil, fmt.Errorf("tessellate: pipeline %s is %dD, grid is %dD", p.Name, d, dims)
+	}
+	if opt.Scheme != Tessellation && opt.Scheme != Naive {
+		return nil, fmt.Errorf("tessellate: pipelines support the tessellation and naive schemes, got %v", opt.Scheme)
+	}
+	return p.Slopes(), nil
+}
+
+// RunPipeline1D advances a 1D grid by steps logical time steps of the
+// pipeline p. A non-nil mask m freezes its inactive cells. Only the
+// Tessellation and Naive schemes are supported.
+func (e *Engine) RunPipeline1D(g *Grid1D, p *Pipeline, steps int, m *Mask, opt Options) error {
+	slopes, err := checkPipelineRun(p, 1, steps, opt)
+	if err != nil {
+		return err
+	}
+	if opt.Scheme == Naive {
+		return naive.RunPipeline1D(g, p, steps, e.pool, m)
+	}
+	cfg := tessConfigGeneric([]int{g.N}, slopes, opt)
+	return core.RunPipeline1D(g, p, steps, &cfg, e.pool, m)
+}
+
+// RunPipeline2D advances a 2D grid by steps logical time steps of the
+// pipeline p. A non-nil mask m freezes its inactive cells. Only the
+// Tessellation and Naive schemes are supported.
+func (e *Engine) RunPipeline2D(g *Grid2D, p *Pipeline, steps int, m *Mask, opt Options) error {
+	slopes, err := checkPipelineRun(p, 2, steps, opt)
+	if err != nil {
+		return err
+	}
+	if opt.Scheme == Naive {
+		return naive.RunPipeline2D(g, p, steps, e.pool, m)
+	}
+	cfg := tessConfigGeneric([]int{g.NX, g.NY}, slopes, opt)
+	return core.RunPipeline2D(g, p, steps, &cfg, e.pool, m)
+}
+
+// RunPipeline3D advances a 3D grid by steps logical time steps of the
+// pipeline p. A non-nil mask m freezes its inactive cells. Only the
+// Tessellation and Naive schemes are supported.
+func (e *Engine) RunPipeline3D(g *Grid3D, p *Pipeline, steps int, m *Mask, opt Options) error {
+	slopes, err := checkPipelineRun(p, 3, steps, opt)
+	if err != nil {
+		return err
+	}
+	if opt.Scheme == Naive {
+		return naive.RunPipeline3D(g, p, steps, e.pool, m)
+	}
+	cfg := tessConfigGeneric([]int{g.NX, g.NY, g.NZ}, slopes, opt)
+	return core.RunPipeline3D(g, p, steps, &cfg, e.pool, m)
+}
+
+// checkMaskedRun validates the common masked-run arguments.
+func checkMaskedRun(s *Stencil, m *Mask, dims, steps int, opt Options) error {
+	if steps < 0 {
+		return fmt.Errorf("tessellate: negative steps %d", steps)
+	}
+	if s.Dims != dims {
+		return fmt.Errorf("tessellate: %s is a %dD kernel, grid is %dD", s.Name, s.Dims, dims)
+	}
+	if m == nil {
+		return fmt.Errorf("tessellate: masked run requires a mask (use Run%dD for full domains)", dims)
+	}
+	if opt.Scheme != Tessellation && opt.Scheme != Naive {
+		return fmt.Errorf("tessellate: masked runs support the tessellation and naive schemes, got %v", opt.Scheme)
+	}
+	return nil
+}
+
+// RunMasked1D advances the active cells of a masked 1D grid by steps
+// time steps of s; inactive cells keep their seed values. Only the
+// Tessellation and Naive schemes are supported.
+func (e *Engine) RunMasked1D(g *Grid1D, s *Stencil, steps int, m *Mask, opt Options) error {
+	if err := checkMaskedRun(s, m, 1, steps, opt); err != nil {
+		return err
+	}
+	if opt.Scheme == Naive {
+		return naive.RunMasked1D(g, s, steps, e.pool, m)
+	}
+	cfg := tessConfig([]int{g.N}, s, opt)
+	return core.RunMasked1D(g, s, steps, &cfg, e.pool, m)
+}
+
+// RunMasked2D advances the active cells of a masked 2D grid by steps
+// time steps of s; inactive cells keep their seed values. Only the
+// Tessellation and Naive schemes are supported.
+func (e *Engine) RunMasked2D(g *Grid2D, s *Stencil, steps int, m *Mask, opt Options) error {
+	if err := checkMaskedRun(s, m, 2, steps, opt); err != nil {
+		return err
+	}
+	if opt.Scheme == Naive {
+		return naive.RunMasked2D(g, s, steps, e.pool, m)
+	}
+	cfg := tessConfig([]int{g.NX, g.NY}, s, opt)
+	return core.RunMasked2D(g, s, steps, &cfg, e.pool, m)
+}
+
+// RunMasked3D advances the active cells of a masked 3D grid by steps
+// time steps of s; inactive cells keep their seed values. Only the
+// Tessellation and Naive schemes are supported.
+func (e *Engine) RunMasked3D(g *Grid3D, s *Stencil, steps int, m *Mask, opt Options) error {
+	if err := checkMaskedRun(s, m, 3, steps, opt); err != nil {
+		return err
+	}
+	if opt.Scheme == Naive {
+		return naive.RunMasked3D(g, s, steps, e.pool, m)
+	}
+	cfg := tessConfig([]int{g.NX, g.NY, g.NZ}, s, opt)
+	return core.RunMasked3D(g, s, steps, &cfg, e.pool, m)
+}

@@ -1,0 +1,184 @@
+package tessellate
+
+import (
+	"math/rand"
+	"testing"
+
+	"tessellate/internal/verify"
+)
+
+// rk2Heat2D is an SSP-RK2 step of the 2D heat operator expressed as a
+// three-stage pipeline: u* = E(u); u** = E(u*); u' = 1/2 u + 1/2 u**.
+func rk2Heat2D() *Pipeline {
+	return &Pipeline{Name: "rk2-heat2d", TmpHalo: 0.25, Stages: []Stage{
+		{Spec: Heat2D, In: 0},
+		{Spec: Heat2D, In: 1},
+		{A: 0.5, In: 0, B: 0.5, InB: 2},
+	}}
+}
+
+// TestRunPipelineFacadeMatchesNaive drives a pipeline through the
+// public API under both schemes and demands bitwise agreement.
+func TestRunPipelineFacadeMatchesNaive(t *testing.T) {
+	eng := NewEngine(4)
+	defer eng.Close()
+	p := rk2Heat2D()
+
+	base := NewGrid2D(44, 50, 2, 2)
+	rng := rand.New(rand.NewSource(11))
+	base.Fill(func(x, y int) float64 { return rng.Float64() })
+	base.SetBoundary(0.5)
+
+	ref := base.Clone()
+	if err := eng.RunPipeline2D(ref, p, 9, nil, Options{Scheme: Naive}); err != nil {
+		t.Fatal(err)
+	}
+	g := base.Clone()
+	if err := eng.RunPipeline2D(g, p, 9, nil, Options{TimeTile: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if r := verify.Grids2D(g, ref); !r.Equal {
+		t.Fatal(r.Error("pipeline facade"))
+	}
+	if g.Step != 9 {
+		t.Fatalf("Step = %d, want 9", g.Step)
+	}
+
+	// Masked pipeline through the facade.
+	m, err := NamedMask("lshape", []int{44, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mref := base.Clone()
+	if err := eng.RunPipeline2D(mref, p, 9, m, Options{Scheme: Naive}); err != nil {
+		t.Fatal(err)
+	}
+	mg := base.Clone()
+	if err := eng.RunPipeline2D(mg, p, 9, m, Options{TimeTile: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if r := verify.Grids2D(mg, mref); !r.Equal {
+		t.Fatal(r.Error("masked pipeline facade"))
+	}
+}
+
+// TestRunMaskedFacadeMatchesNaive drives masked plain-stencil runs
+// through the public API in all three dimensionalities.
+func TestRunMaskedFacadeMatchesNaive(t *testing.T) {
+	eng := NewEngine(4)
+	defer eng.Close()
+
+	t.Run("1d", func(t *testing.T) {
+		m, err := NamedMask("obstacle", []int{120})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := NewGrid1D(120, 1)
+		rng := rand.New(rand.NewSource(12))
+		base.Fill(func(x int) float64 { return rng.Float64() })
+		ref := base.Clone()
+		if err := eng.RunMasked1D(ref, Heat1D, 12, m, Options{Scheme: Naive}); err != nil {
+			t.Fatal(err)
+		}
+		g := base.Clone()
+		if err := eng.RunMasked1D(g, Heat1D, 12, m, Options{TimeTile: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if r := verify.Grids1D(g, ref); !r.Equal {
+			t.Fatal(r.Error("masked 1d"))
+		}
+	})
+
+	t.Run("2d", func(t *testing.T) {
+		m, err := NamedMask("lshape", []int{40, 46})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := NewGrid2D(40, 46, 1, 1)
+		rng := rand.New(rand.NewSource(13))
+		base.Fill(func(x, y int) float64 { return rng.Float64() })
+		ref := base.Clone()
+		if err := eng.RunMasked2D(ref, Box2D9, 8, m, Options{Scheme: Naive}); err != nil {
+			t.Fatal(err)
+		}
+		g := base.Clone()
+		if err := eng.RunMasked2D(g, Box2D9, 8, m, Options{TimeTile: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if r := verify.Grids2D(g, ref); !r.Equal {
+			t.Fatal(r.Error("masked 2d"))
+		}
+		// Inactive cells are frozen at their seed values.
+		for x := 0; x < 40; x++ {
+			for y := 0; y < 46; y++ {
+				if !m.Active(x, y) && g.At(x, y) != base.At(x, y) {
+					t.Fatalf("inactive cell (%d,%d) changed: %v -> %v", x, y, base.At(x, y), g.At(x, y))
+				}
+			}
+		}
+	})
+
+	t.Run("3d", func(t *testing.T) {
+		m, err := NamedMask("obstacle", []int{18, 16, 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := NewGrid3D(18, 16, 20, 1, 1, 1)
+		rng := rand.New(rand.NewSource(14))
+		base.Fill(func(x, y, z int) float64 { return rng.Float64() })
+		ref := base.Clone()
+		if err := eng.RunMasked3D(ref, Heat3D, 6, m, Options{Scheme: Naive}); err != nil {
+			t.Fatal(err)
+		}
+		g := base.Clone()
+		if err := eng.RunMasked3D(g, Heat3D, 6, m, Options{TimeTile: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if r := verify.Grids3D(g, ref); !r.Equal {
+			t.Fatal(r.Error("masked 3d"))
+		}
+	})
+}
+
+// TestPipelineFacadeErrors covers the facade's validation ladder.
+func TestPipelineFacadeErrors(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	g2 := NewGrid2D(32, 32, 2, 2)
+	p := rk2Heat2D()
+
+	if err := eng.RunPipeline2D(g2, p, -1, nil, Options{}); err == nil {
+		t.Error("negative steps accepted")
+	}
+	if err := eng.RunPipeline2D(g2, nil, 3, nil, Options{}); err == nil {
+		t.Error("nil pipeline accepted")
+	}
+	if err := eng.RunPipeline2D(g2, p, 3, nil, Options{Scheme: Skewed}); err == nil {
+		t.Error("pipeline under skewed scheme accepted")
+	}
+	if err := eng.RunPipeline2D(g2, &Pipeline{Name: "empty"}, 3, nil, Options{}); err == nil {
+		t.Error("invalid pipeline accepted")
+	}
+	g1 := NewGrid1D(64, 1)
+	p1 := &Pipeline{Name: "heat1d", Stages: []Stage{{Spec: Heat1D, In: 0}}}
+	if err := eng.RunPipeline1D(g1, rk2Heat2D(), 3, nil, Options{}); err == nil {
+		t.Error("2D pipeline on 1D grid accepted")
+	}
+	if err := eng.RunPipeline1D(g1, p1, 3, nil, Options{}); err != nil {
+		t.Errorf("single-stage 1D pipeline rejected: %v", err)
+	}
+
+	m, err := NamedMask("lshape", []int{32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunMasked2D(g2, Heat2D, 3, nil, Options{}); err == nil {
+		t.Error("nil mask accepted by RunMasked2D")
+	}
+	if err := eng.RunMasked2D(g2, Heat1D, 3, m, Options{}); err == nil {
+		t.Error("1D kernel on 2D masked run accepted")
+	}
+	if err := eng.RunMasked2D(g2, Heat2D, 3, m, Options{Scheme: Diamond}); err == nil {
+		t.Error("masked run under diamond scheme accepted")
+	}
+}

@@ -57,7 +57,20 @@ type (
 	Stencil = stencil.Spec
 	// GenericStencil is a stencil of arbitrary dimension/order/shape.
 	GenericStencil = stencil.Generic
+	// Pipeline chains atomic stages (stencil applications and pointwise
+	// blends) into one logical time step — RK steppers and split
+	// high-order operators; see Engine.RunPipeline2D.
+	Pipeline = stencil.Pipeline
+	// Stage is one atomic step of a Pipeline.
+	Stage = stencil.Stage
+	// Mask marks each grid cell active or frozen for irregular-domain
+	// runs; see Engine.RunMasked2D.
+	Mask = grid.Mask
 )
+
+// PrevState selects the state grid's previous time level u^{t-1} as a
+// pipeline blend input (final-stage blends only).
+const PrevState = stencil.PrevState
 
 // Grid constructors (re-exported).
 var (
@@ -71,6 +84,10 @@ var (
 	// the coefficient slice must have the grid buffer's padded layout.
 	NewVarCoef2D = stencil.NewVarCoef2D
 	NewVarCoef3D = stencil.NewVarCoef3D
+	// NewMask builds an all-active mask of the given extents; NamedMask
+	// builds one of the built-in shapes ("lshape", "obstacle").
+	NewMask   = grid.NewMask
+	NamedMask = grid.NamedMask
 )
 
 // The seven benchmark stencils of the paper's Table 4.
